@@ -1,0 +1,184 @@
+// Command polybench regenerates every figure of the Polyraptor paper
+// (SIGCOMM 2018) as text tables or CSV.
+//
+// Usage:
+//
+//	polybench -fig 1a                 # scaled-down default
+//	polybench -fig 1b -scale medium   # larger fabric, more sessions
+//	polybench -fig 1c -scale paper    # the paper's exact parameters
+//	polybench -fig ablations
+//	polybench -fig all -csv
+//
+// Scaled-down runs preserve per-host delivered load, so the *shape*
+// of every figure (who wins, by what factor, where crossings fall)
+// matches the paper; see EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"polyraptor/internal/harness"
+	"polyraptor/internal/stats"
+	"polyraptor/internal/workload"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 1a, 1b, 1c, ablations, all")
+		scale  = flag.String("scale", "bench", "experiment scale: bench, medium, paper")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		points = flag.Int("points", 16, "max points per rank curve (1a/1b)")
+		seed   = flag.Int64("seed", 1, "base seed")
+		reps   = flag.Int("reps", 0, "override Figure 1c repetitions (0 = scale default)")
+	)
+	flag.Parse()
+
+	sc, inc := scales(*scale)
+	sc.Seed = *seed
+	inc.Seed = *seed
+	if *reps > 0 {
+		inc.Repetitions = *reps
+	}
+
+	switch *fig {
+	case "1a":
+		runRank("Figure 1a — multicast replication", harness.Figure1a(sc, *points), sc, *csv)
+	case "1b":
+		runRank("Figure 1b — multi-source fetch", harness.Figure1b(sc, *points), sc, *csv)
+	case "1c":
+		runIncast(inc, *csv)
+	case "ablations":
+		runAblations(sc)
+	case "ext":
+		runExtensions(sc)
+	case "all":
+		runRank("Figure 1a — multicast replication", harness.Figure1a(sc, *points), sc, *csv)
+		runRank("Figure 1b — multi-source fetch", harness.Figure1b(sc, *points), sc, *csv)
+		runIncast(inc, *csv)
+		runAblations(sc)
+		runExtensions(sc)
+	default:
+		fmt.Fprintf(os.Stderr, "polybench: unknown figure %q\n", *fig)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// scales maps the -scale flag to figure and incast configurations.
+func scales(name string) (harness.Scale, harness.IncastOptions) {
+	switch name {
+	case "bench":
+		inc := harness.BenchIncastOptions()
+		return harness.BenchScale(), inc
+	case "medium":
+		sc := harness.Scale{FatTreeK: 6, Sessions: 1000, Bytes: 1 << 20, LoadFactor: 0.33, Seed: 1}
+		inc := harness.DefaultIncastOptions()
+		inc.FatTreeK = 6
+		inc.SenderCounts = []int{2, 5, 10, 15, 20, 30, 40}
+		inc.Repetitions = 5
+		return sc, inc
+	case "paper":
+		return harness.PaperScale(), harness.DefaultIncastOptions()
+	default:
+		fmt.Fprintf(os.Stderr, "polybench: unknown scale %q (bench|medium|paper)\n", name)
+		os.Exit(2)
+		panic("unreachable")
+	}
+}
+
+func runRank(title string, series []harness.FigureSeries, sc harness.Scale, csv bool) {
+	start := time.Now()
+	var cols []stats.Series
+	var xs []string
+	for i, s := range series {
+		if i == 0 {
+			for _, x := range s.X {
+				xs = append(xs, fmt.Sprintf("%.0f", x))
+			}
+		}
+		cols = append(cols, stats.Series{Name: s.Label, Points: s.Y})
+	}
+	emit(title, fmt.Sprintf("k=%d hosts=%d sessions=%d bytes=%d",
+		sc.FatTreeK, sc.FatTreeK*sc.FatTreeK*sc.FatTreeK/4, sc.Sessions, sc.Bytes),
+		"rank", xs, cols, csv, start)
+}
+
+func runIncast(opt harness.IncastOptions, csv bool) {
+	start := time.Now()
+	series := harness.Figure1c(opt)
+	var cols []stats.Series
+	var xs []string
+	for i, s := range series {
+		if i == 0 {
+			for _, x := range s.X {
+				xs = append(xs, fmt.Sprintf("%.0f", x))
+			}
+		}
+		cols = append(cols, stats.Series{Name: s.Label, Points: s.Y})
+		cols = append(cols, stats.Series{Name: s.Label + " ±CI", Points: s.YErr})
+	}
+	emit("Figure 1c — incast", fmt.Sprintf("k=%d reps=%d", opt.FatTreeK, opt.Repetitions),
+		"senders", xs, cols, csv, start)
+}
+
+func runAblations(sc harness.Scale) {
+	k := sc.FatTreeK
+	fmt.Println("== Ablations (DESIGN.md A1-A4) ==")
+	a1 := harness.RunAblationNoTrim(k, 12, 70<<10, sc.Seed)
+	fmt.Printf("A1 packet trimming (12-way incast, 70KB): with=%.3f Gbps  without=%.3f Gbps\n",
+		a1.WithTrim, a1.WithoutTrim)
+	a2 := harness.RunAblationInitialWindow(k, 40<<10, 20, sc.Seed)
+	fmt.Printf("A2 first-RTT window (40KB flows): with=%v  pull-only=%v (mean FCT)\n",
+		a2.MeanFCTWindow, a2.MeanFCTNoWindow)
+	a3 := harness.RunAblationPartitioning(k, 3, 8, 512<<10, sc.Seed)
+	fmt.Printf("A3 multi-source ESI scheme: partitioned=%.3f Gbps  random=%.3f Gbps\n",
+		a3.GoodputPartitioned, a3.GoodputRandom)
+	a4 := harness.RunAblationDecodeLatency(k, 512<<10, 2000, 6, sc.Seed)
+	fmt.Printf("A4 decode latency (2µs/symbol): none=%.3f Gbps  with=%.3f Gbps\n",
+		a4.GoodputNoLatency, a4.GoodputWithLatency)
+	fmt.Println()
+}
+
+func runExtensions(sc harness.Scale) {
+	k := sc.FatTreeK
+	fmt.Println("== Extensions (paper's 'current work': DESIGN.md E1-E4, Ext-S) ==")
+	e1 := harness.RunHotspotExperiment(k, 0.3, 10, 8, 1<<20, sc.Seed)
+	fmt.Printf("E1 hotspots (30%% core links at 1/10 rate, %d degraded): RQ1=%.3f  RQ3=%.3f  TCP=%.3f Gbps\n",
+		e1.DegradedLinks, e1.RQ1, e1.RQ3, e1.TCP1)
+	for _, dist := range []workload.SizeDist{workload.WebSearchDist(), workload.DataMiningDist()} {
+		e2 := harness.RunFlowSizeExperiment(k, dist, 60, sc.Seed)
+		fmt.Printf("E2 %s workload:\n", e2.Dist)
+		for i := range e2.RQ {
+			fmt.Printf("   %-10s RQ %10v / %.3f Gbps (n=%d)   TCP %10v / %.3f Gbps\n",
+				e2.RQ[i].Label, e2.RQ[i].MeanFCT, e2.RQ[i].MeanGoodput, e2.RQ[i].Count,
+				e2.TCP[i].MeanFCT, e2.TCP[i].MeanGoodput)
+		}
+	}
+	inc := harness.IncastOptions{FatTreeK: k, Trimming: true}
+	fmt.Printf("E3 DCTCP 12-way incast (256KB): RQ=%.3f  TCP=%.3f  DCTCP=%.3f Gbps\n",
+		harness.RunIncastRQ(inc, 12, 256<<10, sc.Seed),
+		harness.RunIncastTCP(inc, 12, 256<<10, sc.Seed),
+		harness.RunIncastDCTCP(inc, 12, 256<<10, sc.Seed))
+	for _, ratio := range []int64{1, 4} {
+		e4 := harness.RunOversubscription(k, ratio, sc.Seed)
+		fmt.Printf("E4 oversubscription %d:1 (12-way incast): RQ=%.3f  TCP=%.3f Gbps\n",
+			e4.Ratio, e4.RQ, e4.TCP)
+	}
+	sOn := harness.RunStragglerExperiment(true, 2<<20, sc.Seed)
+	sOff := harness.RunStragglerExperiment(false, 2<<20, sc.Seed)
+	fmt.Printf("Ext-S straggler detachment: healthy %.3f Gbps (on; straggler detached=%v at %.3f) vs %.3f Gbps (off)\n",
+		sOn.HealthyGoodput, sOn.Detached, sOn.StragglerGoodput, sOff.HealthyGoodput)
+	fmt.Println()
+}
+
+func emit(title, subtitle, xLabel string, xs []string, cols []stats.Series, csv bool, start time.Time) {
+	if csv {
+		fmt.Printf("# %s (%s)\n%s\n", title, subtitle, stats.RenderCSV(xLabel, xs, cols))
+		return
+	}
+	fmt.Printf("== %s ==\n(%s, goodput in Gbps, elapsed %v)\n%s\n",
+		title, subtitle, time.Since(start).Round(time.Millisecond), stats.RenderTable(xLabel, xs, cols))
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestScales(t *testing.T) {
+	sc, inc := scales("bench")
+	if sc.Sessions == 0 || len(inc.SenderCounts) == 0 {
+		t.Fatalf("bench scale empty: %+v / %+v", sc, inc)
+	}
+	med, medInc := scales("medium")
+	if med.Sessions <= sc.Sessions {
+		t.Fatal("medium must exceed bench")
+	}
+	if medInc.FatTreeK*medInc.FatTreeK*medInc.FatTreeK/4 <= medInc.SenderCounts[len(medInc.SenderCounts)-1] {
+		t.Fatal("medium incast fabric too small for its sender counts")
+	}
+	paper, paperInc := scales("paper")
+	if paper.FatTreeK != 10 || paper.Sessions != 10000 {
+		t.Fatalf("paper scale wrong: %+v", paper)
+	}
+	if paperInc.SenderCounts[len(paperInc.SenderCounts)-1] != 70 {
+		t.Fatal("paper incast must reach 70 senders")
+	}
+}

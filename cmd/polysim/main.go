@@ -1,0 +1,177 @@
+// Command polysim runs a single Polyraptor or TCP scenario on a
+// simulated fabric and prints per-session results — the exploratory
+// companion to polybench's fixed figures.
+//
+// Examples:
+//
+//	polysim -proto rq  -pattern unicast     -bytes 4194304
+//	polysim -proto rq  -pattern multicast   -replicas 3
+//	polysim -proto rq  -pattern multisource -replicas 3
+//	polysim -proto rq  -pattern incast      -senders 32 -bytes 262144
+//	polysim -proto tcp -pattern incast      -senders 32 -bytes 262144
+//	polysim -proto rq  -pattern multicast -replicas 5 -detach
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"polyraptor/internal/netsim"
+	"polyraptor/internal/polyraptor"
+	"polyraptor/internal/sim"
+	"polyraptor/internal/tcpsim"
+	"polyraptor/internal/topology"
+	"polyraptor/internal/workload"
+)
+
+func main() {
+	var (
+		proto    = flag.String("proto", "rq", "transport: rq or tcp")
+		pattern  = flag.String("pattern", "unicast", "unicast, multicast, multisource, incast")
+		k        = flag.Int("k", 4, "fat-tree arity (k even; hosts = k^3/4)")
+		bytes    = flag.Int64("bytes", 4<<20, "object bytes (per sender for incast)")
+		replicas = flag.Int("replicas", 3, "replica count for multicast/multisource")
+		senders  = flag.Int("senders", 8, "sender count for incast")
+		seed     = flag.Int64("seed", 1, "seed")
+		detach   = flag.Bool("detach", false, "enable straggler detachment (rq multicast)")
+		trim     = flag.Bool("trim", true, "NDP packet trimming switches (rq)")
+	)
+	flag.Parse()
+
+	ncfg := netsim.DefaultConfig()
+	ncfg.Seed = *seed
+	ncfg.Trimming = *trim && *proto == "rq"
+	if *proto == "dctcp" {
+		ncfg.ECNThreshold = 20
+	}
+	ft, err := topology.NewFatTree(*k, ncfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polysim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fabric: k=%d (%d hosts), link %d Mbps, delay %v, trimming=%v, ecn=%d\n",
+		*k, ft.NumHosts(), ncfg.LinkRate/1e6, ncfg.LinkDelay, ncfg.Trimming, ncfg.ECNThreshold)
+
+	switch *proto {
+	case "rq":
+		runRQ(ft, *pattern, *bytes, *replicas, *senders, *seed, *detach)
+	case "tcp":
+		runTCP(ft, *pattern, *bytes, *replicas, *senders, *seed, tcpsim.DefaultConfig())
+	case "dctcp":
+		runTCP(ft, *pattern, *bytes, *replicas, *senders, *seed, tcpsim.DCTCPConfig())
+	default:
+		fmt.Fprintf(os.Stderr, "polysim: unknown protocol %q\n", *proto)
+		os.Exit(2)
+	}
+}
+
+func runRQ(ft *topology.FatTree, pattern string, bytes int64, replicas, senders int, seed int64, detach bool) {
+	pcfg := polyraptor.DefaultConfig()
+	pcfg.StragglerDetach = detach
+	sys := polyraptor.NewSystem(ft.Net, pcfg, seed)
+	sys.PruneGroup = ft.PruneMulticastLeaf
+	report := func(ev polyraptor.CompletionEvent) {
+		fmt.Printf("receiver %3d: %8.3f Gbps  (%d symbols, %d trims, %v, detached=%v)\n",
+			ev.Receiver, ev.GoodputGbps(), ev.Symbols, ev.Trims, ev.End-ev.Start, ev.Detached)
+	}
+	switch pattern {
+	case "unicast":
+		sys.StartUnicast(0, pick(ft, 0, seed, 1)[0], bytes, report)
+	case "multicast":
+		peers := pick(ft, 0, seed, replicas)
+		g := ft.InstallMulticastGroup(0, peers)
+		sys.StartMulticast(0, peers, g, bytes, report)
+	case "multisource":
+		peers := pick(ft, 0, seed, replicas)
+		sys.StartMultiSource(peers, 0, bytes, report)
+	case "incast":
+		ic := workload.GenerateIncast(workload.IncastConfig{Senders: senders, BytesPerSender: bytes, Seed: seed}, ft)
+		var last sim.Time
+		for _, s := range ic.Senders {
+			sys.StartUnicast(s, ic.Client, ic.Bytes, func(ev polyraptor.CompletionEvent) {
+				if ev.End > last {
+					last = ev.End
+				}
+			})
+		}
+		ft.Net.Eng.Run()
+		agg := float64(bytes*int64(senders)*8) / last.Seconds() / 1e9
+		fmt.Printf("incast: %d senders x %d B -> aggregate %.3f Gbps (makespan %v)\n",
+			senders, bytes, agg, last)
+		printQueueStats(ft)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "polysim: unknown pattern %q\n", pattern)
+		os.Exit(2)
+	}
+	ft.Net.Eng.Run()
+	printQueueStats(ft)
+}
+
+func runTCP(ft *topology.FatTree, pattern string, bytes int64, replicas, senders int, seed int64, tcfg tcpsim.Config) {
+	sys := tcpsim.NewSystem(ft.Net, tcfg)
+	report := func(r tcpsim.FlowResult) {
+		fmt.Printf("flow %2d %3d->%3d: %8.3f Gbps  (%d rtx, %d RTO, %v)\n",
+			r.Flow, r.Src, r.Dst, r.GoodputGbps(), r.Retransmits, r.Timeouts, r.End-r.Start)
+	}
+	switch pattern {
+	case "unicast":
+		sys.StartFlow(0, pick(ft, 0, seed, 1)[0], bytes, report)
+	case "multicast":
+		for _, p := range pick(ft, 0, seed, replicas) {
+			sys.StartFlow(0, p, bytes, report) // multi-unicast emulation
+		}
+	case "multisource":
+		for _, p := range pick(ft, 0, seed, replicas) {
+			sys.StartFlow(p, 0, bytes/int64(replicas), report)
+		}
+	case "incast":
+		ic := workload.GenerateIncast(workload.IncastConfig{Senders: senders, BytesPerSender: bytes, Seed: seed}, ft)
+		var last sim.Time
+		for _, s := range ic.Senders {
+			sys.StartFlow(s, ic.Client, ic.Bytes, func(r tcpsim.FlowResult) {
+				if r.End > last {
+					last = r.End
+				}
+			})
+		}
+		ft.Net.Eng.Run()
+		agg := float64(bytes*int64(senders)*8) / last.Seconds() / 1e9
+		fmt.Printf("incast: %d senders x %d B -> aggregate %.3f Gbps (makespan %v)\n",
+			senders, bytes, agg, last)
+		printQueueStats(ft)
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "polysim: unknown pattern %q\n", pattern)
+		os.Exit(2)
+	}
+	ft.Net.Eng.Run()
+	printQueueStats(ft)
+}
+
+// pick selects n distinct hosts outside host `client`'s rack.
+func pick(ft *topology.FatTree, client int, seed int64, n int) []int {
+	rng := sim.RNG(seed, "polysim-peers")
+	var out []int
+	for len(out) < n {
+		p := rng.Intn(ft.NumHosts())
+		if p == client || ft.SameRack(client, p) {
+			continue
+		}
+		dup := false
+		for _, q := range out {
+			dup = dup || q == p
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func printQueueStats(ft *topology.FatTree) {
+	tot := ft.Net.QueueTotals()
+	fmt.Printf("switch queues: %d enqueued, %d trimmed, %d dropped (events: %d)\n",
+		tot.Enqueued, tot.Trimmed, tot.Dropped, ft.Net.Eng.Processed())
+}

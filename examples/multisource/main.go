@@ -1,0 +1,68 @@
+// Multi-source fetch over real UDP (Figure 1b pattern): three
+// uncoordinated servers hold the same object; one client pulls from
+// all three at once. The Hello index fixes each server's disjoint
+// symbol schedule, so no server ever sends a symbol another server
+// sends — without any server-to-server coordination.
+//
+// Run with:
+//
+//	go run ./examples/multisource
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"time"
+
+	"polyraptor"
+)
+
+func main() {
+	object := make([]byte, 2<<20)
+	rand.New(rand.NewSource(3)).Read(object)
+	fmt.Printf("object: %d bytes, replicated on 3 servers\n", len(object))
+
+	// Three independent replica servers (real UDP sockets).
+	var servers []*polyraptor.Server
+	var remotes []net.Addr
+	for i := 0; i < 3; i++ {
+		conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := polyraptor.NewServer(conn, object, polyraptor.DefaultTransportConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		go srv.Serve()
+		defer srv.Close()
+		servers = append(servers, srv)
+		remotes = append(remotes, srv.Addr())
+		fmt.Printf("  replica %d serving on %s\n", i, srv.Addr())
+	}
+
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer conn.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	start := time.Now()
+	got, err := polyraptor.FetchMultiSource(ctx, conn, remotes, 99, polyraptor.DefaultTransportConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	el := time.Since(start)
+	if !bytes.Equal(got, object) {
+		log.Fatal("multi-source fetch corrupted the object")
+	}
+	fmt.Printf("fetched %d bytes from 3 sources in %v (%.0f Mbit/s), bit-exact\n",
+		len(got), el.Round(time.Millisecond), float64(len(got)*8)/el.Seconds()/1e6)
+	fmt.Println("every symbol was unique by construction: partitioned source ranges + disjoint repair ESI residues")
+}

@@ -1,0 +1,148 @@
+// Package gf256 implements arithmetic over the finite field GF(2^8) as
+// specified by RFC 6330 §5.7 (the "octet" field used by RaptorQ).
+//
+// The field is GF(2)[x]/(x^8+x^4+x^3+x^2+1), i.e. the reduction
+// polynomial 0x11D, with generator element 2. Multiplication and
+// division are performed through logarithm/exponential tables, exactly
+// as prescribed by the RFC (OCT_LOG / OCT_EXP). Row operations used by
+// the RaptorQ encoder and decoder (AddRow, MulAddRow, ScaleRow) operate
+// on byte slices and form the hot path of matrix elimination, so they
+// are written to be allocation-free.
+package gf256
+
+// Polynomial x^8 + x^4 + x^3 + x^2 + 1, per RFC 6330 §5.7.2.
+const reductionPoly = 0x11D
+
+// expTable[i] = alpha^i for i in [0, 510). Doubled so that
+// mul can index expTable[log(a)+log(b)] without a modulo.
+var expTable [510]byte
+
+// logTable[a] = log_alpha(a) for a in [1, 256). logTable[0] is unused
+// (log of zero is undefined); it is set to 0 and guarded by callers.
+var logTable [256]byte
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= reductionPoly
+		}
+	}
+	// alpha^255 == 1; repeat the cycle so exp lookups for summed logs
+	// (max 254+254 = 508) stay in range.
+	for i := 255; i < 510; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// Add returns a + b in GF(2^8). Addition is XOR; it is its own inverse,
+// so Sub is identical.
+func Add(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// Div returns a / b in GF(2^8). Div panics if b == 0, mirroring integer
+// division semantics; callers in the decoder always pivot on non-zero
+// elements.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	d := int(logTable[a]) - int(logTable[b])
+	if d < 0 {
+		d += 255
+	}
+	return expTable[d]
+}
+
+// Inv returns the multiplicative inverse of a. Inv panics if a == 0.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return expTable[255-int(logTable[a])]
+}
+
+// Exp returns alpha^i where alpha = 2 is the field generator and i may
+// be any non-negative integer.
+func Exp(i int) byte { return expTable[i%255] }
+
+// Log returns log_alpha(a). Log panics if a == 0.
+func Log(a byte) int {
+	if a == 0 {
+		panic("gf256: log of zero")
+	}
+	return int(logTable[a])
+}
+
+// AddRow sets dst[i] ^= src[i] for every position. dst and src must
+// have equal length. Empty rows are a no-op.
+func AddRow(dst, src []byte) {
+	if len(src) == 0 {
+		return
+	}
+	_ = dst[len(src)-1] // bounds-check hint
+	for i := range src {
+		dst[i] ^= src[i]
+	}
+}
+
+// MulAddRow sets dst[i] ^= c * src[i]. A zero coefficient is a no-op;
+// coefficient one degenerates to AddRow.
+func MulAddRow(dst, src []byte, c byte) {
+	switch {
+	case c == 0 || len(src) == 0:
+		return
+	case c == 1:
+		AddRow(dst, src)
+		return
+	}
+	lc := int(logTable[c])
+	_ = dst[len(src)-1]
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= expTable[lc+int(logTable[s])]
+		}
+	}
+}
+
+// ScaleRow multiplies every element of row by c in place.
+func ScaleRow(row []byte, c byte) {
+	switch c {
+	case 0:
+		for i := range row {
+			row[i] = 0
+		}
+		return
+	case 1:
+		return
+	}
+	lc := int(logTable[c])
+	for i, s := range row {
+		if s != 0 {
+			row[i] = expTable[lc+int(logTable[s])]
+		}
+	}
+}
+
+// DotProduct returns the GF(2^8) inner product of a and b, which must
+// have equal length.
+func DotProduct(a, b []byte) byte {
+	var acc byte
+	for i := range a {
+		acc ^= Mul(a[i], b[i])
+	}
+	return acc
+}

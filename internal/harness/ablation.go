@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"polyraptor/internal/netsim"
+	"polyraptor/internal/polyraptor"
+	"polyraptor/internal/sim"
+	"polyraptor/internal/stats"
+	"polyraptor/internal/topology"
+)
+
+// Ablations quantify the design decisions the paper credits for
+// Polyraptor's behaviour (DESIGN.md experiments A1-A3).
+
+// AblationNoTrimResult compares Polyraptor incast goodput with and
+// without NDP packet trimming (A1: "packet trimming along with RQ
+// coding provide resilience").
+type AblationNoTrimResult struct {
+	Senders     int
+	WithTrim    float64
+	WithoutTrim float64
+}
+
+// RunAblationNoTrim measures one incast point with trimming on and
+// off (drop-tail with the same shallow buffering).
+func RunAblationNoTrim(k, senders int, bytes int64, seed int64) AblationNoTrimResult {
+	on := DefaultIncastOptions()
+	on.FatTreeK = k
+	on.Trimming = true
+	off := on
+	off.Trimming = false
+	return AblationNoTrimResult{
+		Senders:     senders,
+		WithTrim:    RunIncastRQ(on, senders, bytes, seed),
+		WithoutTrim: RunIncastRQ(off, senders, bytes, seed),
+	}
+}
+
+// AblationIWResult compares short-flow completion time with the
+// paper's first-RTT window blast versus a pull-only start (A2).
+type AblationIWResult struct {
+	// MeanFCTWindow is the mean flow completion time with the default
+	// initial window.
+	MeanFCTWindow sim.Time
+	// MeanFCTNoWindow is the mean FCT with InitWindow=1 (pure
+	// pull-driven start).
+	MeanFCTNoWindow sim.Time
+}
+
+// RunAblationInitialWindow measures mean FCT of short uncontended
+// flows under both settings.
+func RunAblationInitialWindow(k int, flowBytes int64, flows int, seed int64) AblationIWResult {
+	run := func(iw int) sim.Time {
+		ncfg := netsim.DefaultConfig()
+		ncfg.Seed = seed
+		ft, err := topology.NewFatTree(k, ncfg)
+		if err != nil {
+			panic(err)
+		}
+		pcfg := polyraptor.DefaultConfig()
+		pcfg.InitWindow = iw
+		sys := polyraptor.NewSystem(ft.Net, pcfg, seed)
+		rng := sim.RNG(seed, "ablation-iw")
+		var total sim.Time
+		n := 0
+		for i := 0; i < flows; i++ {
+			src := rng.Intn(ft.NumHosts())
+			dst := rng.Intn(ft.NumHosts())
+			if dst == src {
+				dst = (dst + 1) % ft.NumHosts()
+			}
+			// Serialise flows: each starts after the previous slice of
+			// simulated time so they never contend (isolating latency).
+			at := sim.Time(i) * 2e6
+			ft.Net.Eng.At(at, func() {
+				start := ft.Net.Now()
+				sys.StartUnicast(src, dst, flowBytes, func(ev polyraptor.CompletionEvent) {
+					total += ev.End - start
+					n++
+				})
+			})
+		}
+		ft.Net.Eng.Run()
+		if n == 0 {
+			panic("harness: no ablation flows completed")
+		}
+		return total / sim.Time(n)
+	}
+	return AblationIWResult{
+		MeanFCTWindow:   run(polyraptor.DefaultConfig().InitWindow),
+		MeanFCTNoWindow: run(1),
+	}
+}
+
+// AblationPartitionResult compares multi-source transfer efficiency
+// with ESI partitioning versus independent random seeding (A3): the
+// paper's partitioning guarantees zero duplicates.
+type AblationPartitionResult struct {
+	// GoodputPartitioned and GoodputRandom are mean session goodputs.
+	GoodputPartitioned float64
+	GoodputRandom      float64
+}
+
+// RunAblationPartitioning fetches objects from `senders` replicas
+// repeatedly under both ESI schemes.
+func RunAblationPartitioning(k, senders, sessions int, bytes int64, seed int64) AblationPartitionResult {
+	run := func(randomESI bool) float64 {
+		ncfg := netsim.DefaultConfig()
+		ncfg.Seed = seed
+		ft, err := topology.NewFatTree(k, ncfg)
+		if err != nil {
+			panic(err)
+		}
+		pcfg := polyraptor.DefaultConfig()
+		pcfg.RandomESI = randomESI
+		// Emphasise the repair phase, where duplicates can occur.
+		pcfg.InitWindow = 4
+		sys := polyraptor.NewSystem(ft.Net, pcfg, seed)
+		rng := sim.RNG(seed, "ablation-part")
+		var goodputs []float64
+		for i := 0; i < sessions; i++ {
+			client := rng.Intn(ft.NumHosts())
+			peers := make([]int, 0, senders)
+			for len(peers) < senders {
+				p := rng.Intn(ft.NumHosts())
+				ok := p != client
+				for _, q := range peers {
+					if q == p {
+						ok = false
+					}
+				}
+				if ok {
+					peers = append(peers, p)
+				}
+			}
+			at := sim.Time(i) * 20e6
+			ft.Net.Eng.At(at, func() {
+				start := ft.Net.Now()
+				sys.StartMultiSource(peers, client, bytes, func(ev polyraptor.CompletionEvent) {
+					goodputs = append(goodputs, gbps(bytes, ev.End-start))
+				})
+			})
+		}
+		ft.Net.Eng.Run()
+		return stats.Mean(goodputs)
+	}
+	return AblationPartitionResult{
+		GoodputPartitioned: run(false),
+		GoodputRandom:      run(true),
+	}
+}
+
+// AblationDecodeLatencyResult measures the effect of a non-zero
+// decode cost on session goodput (the paper's "current work" question
+// about encoding/decoding complexity).
+type AblationDecodeLatencyResult struct {
+	GoodputNoLatency   float64
+	GoodputWithLatency float64
+}
+
+// RunAblationDecodeLatency runs unicast sessions with a linear decode
+// cost of nsPerSymbol applied at completion.
+func RunAblationDecodeLatency(k int, bytes int64, nsPerSymbol int64, sessions int, seed int64) AblationDecodeLatencyResult {
+	run := func(withLatency bool) float64 {
+		ncfg := netsim.DefaultConfig()
+		ncfg.Seed = seed
+		ft, err := topology.NewFatTree(k, ncfg)
+		if err != nil {
+			panic(err)
+		}
+		pcfg := polyraptor.DefaultConfig()
+		if withLatency {
+			pcfg.DecodeLatency = func(kSym int) sim.Time {
+				return sim.Time(int64(kSym) * nsPerSymbol)
+			}
+		}
+		sys := polyraptor.NewSystem(ft.Net, pcfg, seed)
+		rng := sim.RNG(seed, "ablation-dl")
+		var goodputs []float64
+		for i := 0; i < sessions; i++ {
+			src := rng.Intn(ft.NumHosts())
+			dst := (src + 1 + rng.Intn(ft.NumHosts()-1)) % ft.NumHosts()
+			at := sim.Time(i) * 10e6
+			ft.Net.Eng.At(at, func() {
+				start := ft.Net.Now()
+				sys.StartUnicast(src, dst, bytes, func(ev polyraptor.CompletionEvent) {
+					goodputs = append(goodputs, gbps(bytes, ev.End-start))
+				})
+			})
+		}
+		ft.Net.Eng.Run()
+		return stats.Mean(goodputs)
+	}
+	return AblationDecodeLatencyResult{
+		GoodputNoLatency:   run(false),
+		GoodputWithLatency: run(true),
+	}
+}

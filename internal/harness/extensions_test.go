@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"math/rand"
+	"testing"
+
+	"polyraptor/internal/workload"
+)
+
+func TestHotspotExperiment(t *testing.T) {
+	res := RunHotspotExperiment(4, 0.3, 10, 6, 1<<20, 1)
+	if res.DegradedLinks == 0 {
+		t.Fatal("no links degraded at frac=0.3")
+	}
+	if res.RQ1 <= 0 || res.RQ3 <= 0 || res.TCP1 <= 0 {
+		t.Fatalf("zero goodput: %+v", res)
+	}
+	// Spraying + multiple sources must beat a hash-pinned single TCP
+	// flow under hotspots.
+	if res.RQ3 <= res.TCP1 {
+		t.Fatalf("RQ3 (%.3f) did not beat pinned TCP (%.3f) under hotspots", res.RQ3, res.TCP1)
+	}
+	// Three sources give more healthy-path diversity than one.
+	if res.RQ3 < res.RQ1*0.95 {
+		t.Fatalf("RQ3 (%.3f) worse than RQ1 (%.3f) under hotspots", res.RQ3, res.RQ1)
+	}
+}
+
+func TestHotspotNoDegradationAtZeroFrac(t *testing.T) {
+	res := RunHotspotExperiment(4, 0, 10, 2, 256<<10, 1)
+	if res.DegradedLinks != 0 {
+		t.Fatalf("degraded %d links at frac=0", res.DegradedLinks)
+	}
+	// Healthy fabric: sequential transfers near line rate.
+	if res.RQ1 < 0.8 {
+		t.Fatalf("RQ1 = %.3f on healthy fabric", res.RQ1)
+	}
+}
+
+func TestFlowSizeExperiment(t *testing.T) {
+	res := RunFlowSizeExperiment(4, workload.WebSearchDist(), 40, 1)
+	if res.Dist != "web-search" {
+		t.Fatalf("dist = %q", res.Dist)
+	}
+	total := 0
+	for _, b := range res.RQ {
+		total += b.Count
+	}
+	if total != 40 {
+		t.Fatalf("RQ bucket counts sum to %d, want 40", total)
+	}
+	// Small flows must be fast for Polyraptor (first-RTT window):
+	// sub-millisecond mean FCT in an uncongested-ish fabric.
+	if res.RQ[0].Count > 0 && res.RQ[0].MeanFCT > 5e6 {
+		t.Fatalf("RQ small-flow mean FCT = %v", res.RQ[0].MeanFCT)
+	}
+	// TCP buckets must cover the same sessions.
+	totalTCP := 0
+	for _, b := range res.TCP {
+		totalTCP += b.Count
+	}
+	if totalTCP != 40 {
+		t.Fatalf("TCP bucket counts sum to %d", totalTCP)
+	}
+}
+
+func TestStragglerExperimentContrast(t *testing.T) {
+	on := RunStragglerExperiment(true, 2<<20, 9)
+	off := RunStragglerExperiment(false, 2<<20, 9)
+	if !on.Detached {
+		t.Fatal("detachment enabled but straggler not detached")
+	}
+	if off.Detached {
+		t.Fatal("detachment disabled but straggler detached")
+	}
+	if on.HealthyGoodput <= off.HealthyGoodput {
+		t.Fatalf("detachment did not help healthy receivers: %.3f vs %.3f",
+			on.HealthyGoodput, off.HealthyGoodput)
+	}
+	if on.StragglerGoodput <= 0 {
+		t.Fatal("straggler never finished its private tail")
+	}
+}
+
+func TestOversubscriptionShapes(t *testing.T) {
+	full := RunOversubscription(4, 1, 1)
+	over := RunOversubscription(4, 4, 1)
+	// 4:1 oversubscription caps the out-of-rack aggregate at 0.25 of
+	// host rate-ish; both protocols must slow down, and Polyraptor
+	// must stay ahead of TCP.
+	if over.RQ >= full.RQ {
+		t.Fatalf("RQ unaffected by 4:1 oversubscription: %.3f vs %.3f", over.RQ, full.RQ)
+	}
+	if over.RQ <= over.TCP {
+		t.Fatalf("RQ (%.3f) lost to TCP (%.3f) under oversubscription", over.RQ, over.TCP)
+	}
+	if over.RQ < 0.15 {
+		t.Fatalf("RQ collapsed under oversubscription: %.3f", over.RQ)
+	}
+}
+
+func TestSizeDistSampling(t *testing.T) {
+	for _, dist := range []workload.SizeDist{workload.WebSearchDist(), workload.DataMiningDist()} {
+		rng := rand.New(rand.NewSource(1))
+		small, large := 0, 0
+		const n = 5000
+		for i := 0; i < n; i++ {
+			v := dist.Sample(rng)
+			if v < 1 {
+				t.Fatalf("%s: sampled %d", dist.Name, v)
+			}
+			if v < 100<<10 {
+				small++
+			}
+			if v > 1<<20 {
+				large++
+			}
+		}
+		// Both distributions are small-flow dominated but heavy-tailed.
+		if small < n/3 {
+			t.Fatalf("%s: only %d/%d small flows", dist.Name, small, n)
+		}
+		if large == 0 {
+			t.Fatalf("%s: no large flows sampled", dist.Name)
+		}
+		if dist.Mean() < 10<<10 {
+			t.Fatalf("%s: mean %v implausibly small", dist.Name, dist.Mean())
+		}
+	}
+}

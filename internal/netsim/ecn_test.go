@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestECNMarkingThreshold(t *testing.T) {
+	q := NewECNDropTail(10, 3)
+	// First three packets enqueue below the threshold: no marks.
+	for i := 0; i < 3; i++ {
+		p := &Packet{Kind: KindData, Size: DataSize, ECNCapable: true}
+		if !q.Enqueue(p) || p.ECNMarked {
+			t.Fatalf("packet %d marked below threshold", i)
+		}
+	}
+	// Subsequent packets see occupancy >= 3: marked.
+	p := &Packet{Kind: KindData, Size: DataSize, ECNCapable: true}
+	q.Enqueue(p)
+	if !p.ECNMarked {
+		t.Fatal("packet at threshold not marked")
+	}
+	if q.Stats().Marked != 1 {
+		t.Fatalf("Marked = %d", q.Stats().Marked)
+	}
+}
+
+func TestECNIgnoresNonCapable(t *testing.T) {
+	q := NewECNDropTail(10, 1)
+	q.Enqueue(&Packet{Kind: KindData, Size: DataSize})
+	p := &Packet{Kind: KindData, Size: DataSize} // not ECN-capable
+	q.Enqueue(p)
+	if p.ECNMarked || q.Stats().Marked != 0 {
+		t.Fatal("non-capable packet marked")
+	}
+}
+
+func TestECNStillDropsAtCapacity(t *testing.T) {
+	q := NewECNDropTail(2, 1)
+	for i := 0; i < 5; i++ {
+		q.Enqueue(&Packet{Kind: KindData, Size: DataSize, ECNCapable: true})
+	}
+	if q.Stats().Dropped != 3 {
+		t.Fatalf("Dropped = %d, want 3", q.Stats().Dropped)
+	}
+}
+
+func TestPlainDropTailNeverMarks(t *testing.T) {
+	q := NewDropTail(2)
+	p := &Packet{Kind: KindData, Size: DataSize, ECNCapable: true}
+	q.Enqueue(&Packet{Kind: KindData, Size: DataSize, ECNCapable: true})
+	q.Enqueue(p)
+	if p.ECNMarked {
+		t.Fatal("plain drop-tail marked a packet")
+	}
+}
+
+func TestSetRateChangesSerialization(t *testing.T) {
+	cfg := DefaultConfig()
+	n, a, b, sw := twoHosts(cfg)
+	var at time.Duration
+	b.Deliver = func(p *Packet) { at = n.Now() }
+	// Degrade the switch->b port to 100 Mbps: its serialization grows
+	// from 12 µs to 120 µs; total = host ser 12 + sw ser 120 + 2x10 prop.
+	sw.Ports[1].SetRate(1e8)
+	if sw.Ports[1].Rate() != 1e8 {
+		t.Fatal("Rate not updated")
+	}
+	a.Send(&Packet{Kind: KindData, Size: DataSize, Src: 0, Dst: 1, Group: -1})
+	n.Eng.Run()
+	want := 12*time.Microsecond + 120*time.Microsecond + 20*time.Microsecond
+	if at != want {
+		t.Fatalf("delivery at %v, want %v", at, want)
+	}
+}
+
+func TestSetRateRejectsNonPositive(t *testing.T) {
+	cfg := DefaultConfig()
+	_, _, _, sw := twoHosts(cfg)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetRate(0) did not panic")
+		}
+	}()
+	sw.Ports[0].SetRate(0)
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindData: "data", KindPull: "pull", KindAck: "ack", KindCtrl: "ctrl",
+		Kind(99): "unknown",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestPortCounters(t *testing.T) {
+	cfg := DefaultConfig()
+	n, a, b, sw := twoHosts(cfg)
+	b.Deliver = func(p *Packet) {}
+	for i := 0; i < 5; i++ {
+		a.Send(&Packet{Kind: KindData, Size: DataSize, Src: 0, Dst: 1, Group: -1})
+	}
+	n.Eng.Run()
+	out := sw.Ports[1]
+	if out.TxPackets != 5 || out.TxBytes != 5*DataSize {
+		t.Fatalf("port counters: %d pkts / %d bytes", out.TxPackets, out.TxBytes)
+	}
+}
+
+func TestTrimQueuePropertyNeverExceedsCaps(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := NewTrimQueue(4, 6)
+		for _, op := range ops {
+			if op%3 == 0 {
+				q.Dequeue()
+				continue
+			}
+			pkt := &Packet{Kind: KindData, Size: DataSize}
+			if op%3 == 2 {
+				pkt.Kind = KindPull
+				pkt.Size = HeaderSize
+			}
+			q.Enqueue(pkt)
+			if q.Len() > 4+6 {
+				return false
+			}
+		}
+		st := q.Stats()
+		return st.Enqueued >= 0 && st.Dropped >= 0 && st.Trimmed >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

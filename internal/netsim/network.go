@@ -1,0 +1,314 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"polyraptor/internal/sim"
+)
+
+// Node receives packets delivered by a link.
+type Node interface {
+	Receive(p *Packet)
+	addPort(p *Port) int
+}
+
+// Config sets the physical and queueing parameters of a network. The
+// defaults mirror the paper's evaluation: 1 Gbps links, 10 µs
+// propagation delay, NDP-style trimming with a shallow data queue.
+type Config struct {
+	// LinkRate in bits per second.
+	LinkRate int64
+	// LinkDelay is the one-way propagation delay per link.
+	LinkDelay sim.Time
+	// Trimming selects the NDP two-queue switch (true, Polyraptor runs)
+	// or classic drop-tail (false, TCP baseline).
+	Trimming bool
+	// DataQueueCap is the switch data-queue capacity in packets when
+	// trimming; NDP's canonical value is 8.
+	DataQueueCap int
+	// HeaderQueueCap bounds the priority header queue.
+	HeaderQueueCap int
+	// DropTailCap is the switch queue capacity in packets without
+	// trimming ("shallow buffers": 100 packets).
+	DropTailCap int
+	// ECNThreshold, when positive, makes drop-tail switch queues mark
+	// ECN-capable packets at this occupancy (DCTCP's K; ~20 packets at
+	// 1 Gbps). Zero disables marking.
+	ECNThreshold int
+	// HostQueueCap is the host NIC egress queue capacity.
+	HostQueueCap int
+	// Seed drives ECMP spraying and hashing.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's network parameters.
+func DefaultConfig() Config {
+	return Config{
+		LinkRate:       1e9,
+		LinkDelay:      10 * sim.Time(1000), // 10 µs
+		Trimming:       true,
+		DataQueueCap:   8,
+		HeaderQueueCap: 4096, // headers are 64 B; this is only 256 KB of buffer
+		DropTailCap:    100,
+		HostQueueCap:   4096,
+		Seed:           1,
+	}
+}
+
+// Network owns the simulation engine, hosts and switches.
+type Network struct {
+	Eng      *sim.Engine
+	Cfg      Config
+	Hosts    []*Host
+	Switches []*Switch
+	rng      *rand.Rand
+}
+
+// New creates an empty network with the given configuration.
+func New(cfg Config) *Network {
+	if cfg.LinkRate <= 0 {
+		panic("netsim: LinkRate must be positive")
+	}
+	return &Network{
+		Eng: sim.NewEngine(),
+		Cfg: cfg,
+		rng: sim.RNG(cfg.Seed, "ecmp-spray"),
+	}
+}
+
+// AddHost creates a host. Its NIC port is created by Connect.
+func (n *Network) AddHost() *Host {
+	h := &Host{ID: int32(len(n.Hosts)), net: n}
+	n.Hosts = append(n.Hosts, h)
+	return h
+}
+
+// AddSwitch creates a switch with the given name (for diagnostics).
+func (n *Network) AddSwitch(name string) *Switch {
+	s := &Switch{ID: int32(len(n.Switches)), Name: name, net: n, Mcast: map[int32][]int{}}
+	n.Switches = append(n.Switches, s)
+	return s
+}
+
+// switchQueue builds the configured queue discipline for a switch
+// egress port.
+func (n *Network) switchQueue() Queue {
+	if n.Cfg.Trimming {
+		return NewTrimQueue(n.Cfg.DataQueueCap, n.Cfg.HeaderQueueCap)
+	}
+	if n.Cfg.ECNThreshold > 0 {
+		return NewECNDropTail(n.Cfg.DropTailCap, n.Cfg.ECNThreshold)
+	}
+	return NewDropTail(n.Cfg.DropTailCap)
+}
+
+// Connect joins two nodes with a full-duplex link (two simplex ports).
+// Hosts get a large drop-tail NIC queue (the sender's own buffer);
+// switch egress ports get the configured switch discipline. It returns
+// the port on a facing b and the port on b facing a.
+func (n *Network) Connect(a, b Node) (pa, pb *Port) {
+	mk := func(owner, peer Node) *Port {
+		var q Queue
+		if _, isHost := owner.(*Host); isHost {
+			q = NewDropTail(n.Cfg.HostQueueCap)
+		} else {
+			q = n.switchQueue()
+		}
+		p := &Port{
+			net:   n,
+			owner: owner,
+			peer:  peer,
+			rate:  n.Cfg.LinkRate,
+			delay: n.Cfg.LinkDelay,
+			queue: q,
+		}
+		p.index = owner.addPort(p)
+		return p
+	}
+	return mk(a, b), mk(b, a)
+}
+
+// QueueTotals aggregates queue statistics across every switch port.
+func (n *Network) QueueTotals() QueueStats {
+	var total QueueStats
+	for _, s := range n.Switches {
+		for _, p := range s.Ports {
+			st := p.queue.Stats()
+			total.Enqueued += st.Enqueued
+			total.Dropped += st.Dropped
+			total.Trimmed += st.Trimmed
+			total.Marked += st.Marked
+		}
+	}
+	return total
+}
+
+// Port is a simplex attachment of a node to a link: an egress queue,
+// a serialization rate and a propagation delay to the peer node.
+type Port struct {
+	net   *Network
+	owner Node
+	peer  Node
+	index int
+	rate  int64
+	delay sim.Time
+	queue Queue
+	busy  bool
+
+	TxPackets int64
+	TxBytes   int64
+}
+
+// Index returns the port's position in its owner's port list.
+func (p *Port) Index() int { return p.index }
+
+// SetRate overrides the port's transmission rate (bits per second),
+// e.g. to model a degraded link or a network hotspot. It affects
+// packets whose serialization starts after the call.
+func (p *Port) SetRate(bps int64) {
+	if bps <= 0 {
+		panic("netsim: rate must be positive")
+	}
+	p.rate = bps
+}
+
+// Rate returns the port's current transmission rate in bits/s.
+func (p *Port) Rate() int64 { return p.rate }
+
+// Peer returns the node at the far end of the link.
+func (p *Port) Peer() Node { return p.peer }
+
+// QueueLen returns the instantaneous queue occupancy in packets.
+func (p *Port) QueueLen() int { return p.queue.Len() }
+
+// QueueStats returns the port's queue counters.
+func (p *Port) QueueStats() QueueStats { return p.queue.Stats() }
+
+// Send enqueues a packet for transmission.
+func (p *Port) Send(pkt *Packet) {
+	if !p.queue.Enqueue(pkt) {
+		return // dropped; counted by the queue
+	}
+	p.kick()
+}
+
+// kick starts transmitting if the line is idle: serialize for
+// size*8/rate, then propagate for delay, then deliver to the peer.
+func (p *Port) kick() {
+	if p.busy {
+		return
+	}
+	pkt := p.queue.Dequeue()
+	if pkt == nil {
+		return
+	}
+	p.busy = true
+	tx := sim.Time(int64(pkt.Size) * 8 * 1e9 / p.rate)
+	p.net.Eng.After(tx, func() {
+		p.busy = false
+		p.TxPackets++
+		p.TxBytes += int64(pkt.Size)
+		p.net.Eng.After(p.delay, func() { p.peer.Receive(pkt) })
+		p.kick()
+	})
+}
+
+// Switch is an output-queued switch. Route supplies the candidate
+// egress ports for a unicast packet (equal-cost set); Mcast maps a
+// group ID to the egress ports of the group's directed tree at this
+// switch.
+type Switch struct {
+	ID    int32
+	Name  string
+	net   *Network
+	Ports []*Port
+	// Route returns the equal-cost candidate egress port indices for a
+	// unicast packet. Installed by the topology package.
+	Route func(pkt *Packet) []int
+	// Mcast maps group -> egress port indices.
+	Mcast map[int32][]int
+}
+
+func (s *Switch) addPort(p *Port) int {
+	s.Ports = append(s.Ports, p)
+	return len(s.Ports) - 1
+}
+
+// Receive forwards a packet: multicast replication along the group
+// tree, or unicast via spraying / per-flow ECMP over the candidate set.
+func (s *Switch) Receive(pkt *Packet) {
+	if pkt.Group >= 0 {
+		outs := s.Mcast[pkt.Group]
+		for i, out := range outs {
+			if i == len(outs)-1 {
+				s.Ports[out].Send(pkt) // last copy moves, not clones
+			} else {
+				s.Ports[out].Send(pkt.clone())
+			}
+		}
+		return
+	}
+	if s.Route == nil {
+		panic(fmt.Sprintf("netsim: switch %s has no route function", s.Name))
+	}
+	cands := s.Route(pkt)
+	if len(cands) == 0 {
+		return // no route: drop
+	}
+	var out int
+	switch {
+	case len(cands) == 1:
+		out = cands[0]
+	case pkt.Spray:
+		out = cands[s.net.rng.Intn(len(cands))]
+	default:
+		out = cands[flowHash(pkt.Flow, pkt.Sender)%uint32(len(cands))]
+	}
+	s.Ports[out].Send(pkt)
+}
+
+// flowHash is a deterministic per-flow ECMP hash (fmix32).
+func flowHash(flow, sender int32) uint32 {
+	h := uint32(flow)*0x85EBCA6B ^ uint32(sender)*0xC2B2AE35
+	h ^= h >> 16
+	h *= 0x85EBCA6B
+	h ^= h >> 13
+	h *= 0xC2B2AE35
+	h ^= h >> 16
+	return h
+}
+
+// Host is an endpoint with a single NIC. Transport protocols register
+// a Deliver callback for ingress traffic.
+type Host struct {
+	ID  int32
+	NIC *Port
+	net *Network
+	// Deliver is invoked for every packet arriving at the host.
+	Deliver func(pkt *Packet)
+}
+
+func (h *Host) addPort(p *Port) int {
+	h.NIC = p
+	return 0
+}
+
+// Receive hands an arriving packet to the registered transport.
+func (h *Host) Receive(pkt *Packet) {
+	if h.Deliver != nil {
+		h.Deliver(pkt)
+	}
+}
+
+// Send transmits a packet from this host.
+func (h *Host) Send(pkt *Packet) {
+	if h.NIC == nil {
+		panic("netsim: host is not connected")
+	}
+	pkt.Born = h.net.Eng.Now()
+	h.NIC.Send(pkt)
+}
+
+// Now returns the network's current simulated time.
+func (n *Network) Now() sim.Time { return n.Eng.Now() }

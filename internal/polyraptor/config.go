@@ -1,0 +1,132 @@
+// Package polyraptor implements the paper's transport protocol on the
+// netsim substrate: receiver-driven, RaptorQ-coded sessions for
+// unicast, one-to-many (multicast) and many-to-one (multi-source)
+// transfer patterns.
+//
+// Protocol summary (paper §2):
+//
+//   - A sender first blasts an initial window of encoding symbols at
+//     line rate (source symbols first — the code is systematic, so a
+//     lossless transfer incurs zero decoding latency).
+//   - Receivers then take over: every arriving full or trimmed symbol
+//     enqueues one pull request into a single per-host pull queue
+//     shared by all inbound sessions; the queue is drained at the
+//     receiver's link rate, so aggregate inbound traffic matches link
+//     capacity regardless of how many sessions or senders exist —
+//     this is what eliminates Incast.
+//   - A lost (trimmed) symbol is never re-requested: the pull simply
+//     elicits the next fresh symbol, which is equally useful for
+//     decoding (rateless property).
+//   - Multicast: the sender aggregates pulls and multicasts a new
+//     symbol only after every receiver has pulled; optional straggler
+//     detachment (the paper's proposed extension) moves a lagging
+//     receiver onto a private unicast tail.
+//   - Multi-source: source symbols are partitioned across the n
+//     senders and repair ESIs are drawn from disjoint residue classes,
+//     so receivers never see duplicates without any coordination.
+//
+// The protocol simulation models symbols by ESI and applies the
+// measured decode-overhead model from internal/raptorq
+// (DecodeFailureProb); the real codec runs in internal/rqudp and the
+// examples.
+package polyraptor
+
+import (
+	"time"
+
+	"polyraptor/internal/netsim"
+	"polyraptor/internal/raptorq"
+	"polyraptor/internal/sim"
+)
+
+// Config holds protocol parameters.
+type Config struct {
+	// SymbolPayload is the payload bytes carried per data packet.
+	SymbolPayload int
+	// InitWindow is the number of symbols blasted unsolicited at
+	// session start ("a whole window ... at line rate for the first
+	// RTT"). Roughly one BDP.
+	InitWindow int
+	// FailProb maps decode overhead (received-K) to failure
+	// probability. Defaults to raptorq.DecodeFailureProb.
+	FailProb func(overhead int) float64
+	// PullTimeout re-arms a receiver whose session has gone quiet
+	// (e.g. every in-flight pull was dropped). Zero disables.
+	PullTimeout sim.Time
+	// StragglerDetach enables the paper's proposed extension: multicast
+	// receivers whose pull deficit exceeds StragglerThreshold are
+	// detached from the group and served on a private unicast tail.
+	StragglerDetach bool
+	// StragglerThreshold is the pull deficit (in symbols) that marks a
+	// receiver as lagging.
+	StragglerThreshold int
+	// StragglerGrace is how long the deficit must persist before the
+	// receiver is actually detached — hysteresis that distinguishes a
+	// transient queue from a persistently congested receiver.
+	StragglerGrace sim.Time
+	// RandomESI disables the multi-source partitioning scheme and lets
+	// every sender seed its repair ESIs independently at random
+	// (ablation A3: quantifies duplicate-symbol waste).
+	RandomESI bool
+	// DecodeLatency, if non-nil, adds a post-receipt decode delay as a
+	// function of K (the paper lists decode complexity as future work;
+	// exposed for ablations).
+	DecodeLatency func(k int) sim.Time
+}
+
+// DefaultConfig returns the parameters used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		SymbolPayload: netsim.PayloadSize,
+		// One BDP of the longest fat-tree path (6 store-and-forward
+		// hops at 1 Gbps/10 µs gives an unloaded RTT of ~200 µs, i.e.
+		// ~17 full-size packets).
+		InitWindow:  20,
+		FailProb:    raptorq.DecodeFailureProb,
+		PullTimeout: 2 * time.Millisecond,
+		// A receiver whose banked pull credits lag the healthiest
+		// receiver by more than this is a straggler. The deficit is
+		// structurally bounded by InitWindow, so the threshold must sit
+		// below it.
+		StragglerDetach:    false,
+		StragglerThreshold: 12,
+		StragglerGrace:     3 * time.Millisecond,
+	}
+}
+
+// CompletionEvent reports one receiver finishing one session.
+type CompletionEvent struct {
+	// Flow is the session ID.
+	Flow int32
+	// Receiver is the host that completed.
+	Receiver int
+	// Start and End bound the transfer at this receiver.
+	Start, End sim.Time
+	// Bytes is the object size.
+	Bytes int64
+	// Symbols is the number of distinct full symbols received.
+	Symbols int
+	// Trims is the number of trimmed headers this receiver saw.
+	Trims int
+	// Detached reports whether this receiver finished on a straggler
+	// unicast tail.
+	Detached bool
+}
+
+// Goodput returns application goodput in bits per second.
+func (c CompletionEvent) Goodput() float64 {
+	d := c.End - c.Start
+	if d <= 0 {
+		return 0
+	}
+	return float64(c.Bytes*8) / d.Seconds() / 1e9 * 1e9
+}
+
+// GoodputGbps returns application goodput in Gbit/s.
+func (c CompletionEvent) GoodputGbps() float64 {
+	d := (c.End - c.Start).Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(c.Bytes*8) / d / 1e9
+}

@@ -1,0 +1,145 @@
+package polyraptor
+
+import (
+	"polyraptor/internal/netsim"
+	"polyraptor/internal/sim"
+)
+
+// receiverSession is the receiving half of a Polyraptor session at one
+// host. It counts distinct full symbols, issues one pull per arrival
+// through the host's shared pacer, and completes once enough symbols
+// for a successful decode (K + sampled overhead) have arrived.
+type receiverSession struct {
+	sys      *System
+	flow     int32
+	receiver int
+	bytes    int64
+	k        int
+	need     int
+	senders  []int
+	onDone   func(CompletionEvent)
+
+	start       sim.Time
+	distinct    int
+	trims       int
+	lastArrival sim.Time
+	done        bool
+	detached    bool
+
+	// seen tracks distinct ESIs; allocated only when duplicates are
+	// possible (RandomESI ablation), since the partitioning scheme
+	// makes duplicates structurally impossible.
+	seen map[int64]struct{}
+
+	timeout      sim.Timer
+	timeoutArmed bool
+}
+
+// onData processes an arriving symbol packet (full or trimmed).
+func (rs *receiverSession) onData(pkt *netsim.Packet) {
+	if rs.done {
+		return
+	}
+	if rs.detached && pkt.Group >= 0 {
+		// We left the multicast group; in-flight copies delivered
+		// before the tree prune took effect are ignored (the private
+		// unicast tail is our only feed now).
+		return
+	}
+	rs.lastArrival = rs.sys.Net.Now()
+	if pkt.Trimmed {
+		// The payload was cut by a congested queue. Never re-request:
+		// just pull the next fresh symbol (rateless recovery).
+		rs.trims++
+		rs.pullFrom(pkt)
+		return
+	}
+	if rs.seen != nil {
+		if _, dup := rs.seen[pkt.Seq]; dup {
+			// Duplicate (possible only in the RandomESI ablation):
+			// wasted capacity, still pull replacement.
+			rs.pullFrom(pkt)
+			return
+		}
+		rs.seen[pkt.Seq] = struct{}{}
+	}
+	rs.distinct++
+	if rs.distinct >= rs.need {
+		rs.complete()
+		return
+	}
+	rs.pullFrom(pkt)
+}
+
+// pullFrom enqueues one pull credit addressed to the sender of the
+// packet that just arrived. Arrival-clocking the pull target is the
+// paper's "natural load balancing": a sender on a congested path
+// delivers fewer symbols, hence receives fewer pulls, contributing
+// exactly its available capacity.
+func (rs *receiverSession) pullFrom(pkt *netsim.Packet) {
+	dst := pkt.Src
+	rs.sys.Agents[rs.receiver].enqueuePull(rs.flow, dst)
+}
+
+// armTimeout schedules the stall guard.
+func (rs *receiverSession) armTimeout() {
+	d := rs.sys.Cfg.PullTimeout
+	if d <= 0 {
+		return
+	}
+	rs.timeoutArmed = true
+	rs.lastArrival = rs.sys.Net.Now()
+	var fire func()
+	fire = func() {
+		if rs.done {
+			return
+		}
+		now := rs.sys.Net.Now()
+		if now-rs.lastArrival >= d {
+			// Session stalled: every in-flight pull or symbol was
+			// dropped. Re-prime one pull per sender.
+			for _, s := range rs.senders {
+				rs.sys.Agents[rs.receiver].enqueuePull(rs.flow, rs.sys.Agents[s].host.ID)
+			}
+		}
+		rs.timeout = rs.sys.Net.Eng.After(d, fire)
+	}
+	rs.timeout = rs.sys.Net.Eng.After(d, fire)
+}
+
+// complete finishes the session at this receiver: it notifies every
+// sender with a control packet (freeing multicast aggregation from
+// waiting on us) and reports the completion event.
+func (rs *receiverSession) complete() {
+	rs.done = true
+	rs.timeout.Cancel()
+	end := rs.sys.Net.Now()
+	if dl := rs.sys.Cfg.DecodeLatency; dl != nil {
+		end += dl(rs.k)
+	}
+	for _, s := range rs.senders {
+		rs.sys.Agents[rs.receiver].host.Send(&netsim.Packet{
+			Flow:  rs.flow,
+			Kind:  netsim.KindCtrl,
+			Size:  netsim.HeaderSize,
+			Src:   int32(rs.receiver),
+			Dst:   rs.sys.Agents[s].host.ID,
+			Group: -1,
+			Spray: true,
+		})
+	}
+	delete(rs.sys.Agents[rs.receiver].recvSess, rs.flow)
+	if rs.onDone != nil {
+		ev := CompletionEvent{
+			Flow:     rs.flow,
+			Receiver: rs.receiver,
+			Start:    rs.start,
+			End:      end,
+			Bytes:    rs.bytes,
+			Symbols:  rs.distinct,
+			Trims:    rs.trims,
+			Detached: rs.detached,
+		}
+		rs.onDone(ev)
+	}
+}

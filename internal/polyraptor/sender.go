@@ -1,0 +1,238 @@
+package polyraptor
+
+import (
+	"math/rand"
+
+	"polyraptor/internal/netsim"
+)
+
+// senderSession is one sender's half of a Polyraptor session. A
+// unicast or multi-source sender serves exactly one receiver; a
+// multicast sender serves a receiver set with pull aggregation.
+type senderSession struct {
+	sys  *System
+	flow int32
+	src  int // this sender's host ID
+	k    int
+
+	// Symbol generation cursors. Source symbols [srcNext, srcEnd) are
+	// sent first (systematic), then repair ESIs repairNext, +stride, …
+	// Multi-source senders get disjoint source partitions and disjoint
+	// repair residue classes, which guarantees duplicate-free delivery
+	// without coordination.
+	srcNext, srcEnd int64
+	repairNext      int64
+	stride          int64
+	senderIdx       int32
+	randESI         *rand.Rand // ablation: independent random repair ESIs
+
+	// Unicast / multi-source target.
+	dst int32
+
+	// Multicast state.
+	group     int32 // -1 for unicast
+	receivers []int32
+	pulls     map[int32]int // outstanding pull credits per receiver
+	doneRecv  int           // receivers that reported completion
+	detached  map[int32]*detachedTail
+	// emitted counts symbols sent; the straggler detector compares its
+	// growth against the link's symbol rate.
+	emitted int64
+	// graceArmed guards the single outstanding rate-measurement timer;
+	// emittedAtArm is the emission count when it was armed.
+	graceArmed   bool
+	emittedAtArm int64
+
+	finished bool
+}
+
+// detachedTail serves a straggler receiver privately after detachment:
+// every pull from it yields one fresh unicast repair symbol.
+type detachedTail struct {
+	served int
+}
+
+// nextESI advances the symbol cursor: source partition first, then
+// repair symbols.
+func (ss *senderSession) nextESI() int64 {
+	if ss.srcNext < ss.srcEnd {
+		esi := ss.srcNext
+		ss.srcNext++
+		return esi
+	}
+	if ss.randESI != nil {
+		// Ablation A3: independent random repair ESI (collisions across
+		// senders possible and wasted).
+		return int64(ss.k) + int64(ss.randESI.Int63n(int64(ss.k)*8+1024))
+	}
+	esi := ss.repairNext
+	ss.repairNext += ss.stride
+	return esi
+}
+
+// sendInitialWindow blasts the first window unsolicited at line rate
+// (the host NIC serializes back-to-back), covering the first RTT
+// before receiver pulls take over.
+func (ss *senderSession) sendInitialWindow() {
+	n := ss.sys.Cfg.InitWindow
+	for i := 0; i < n; i++ {
+		ss.emit(ss.nextESI(), -1)
+	}
+}
+
+// emit sends one symbol: multicast over the group, or unicast to a
+// specific receiver (to >= 0 overrides the default destination, used
+// for straggler tails).
+func (ss *senderSession) emit(esi int64, to int32) {
+	ss.emitted++
+	pkt := &netsim.Packet{
+		Flow:   ss.flow,
+		Kind:   netsim.KindData,
+		Size:   netsim.DataSize,
+		Src:    ss.sys.Agents[ss.src].host.ID,
+		Group:  -1,
+		Spray:  true,
+		Seq:    esi,
+		Sender: ss.senderIdx,
+	}
+	switch {
+	case to >= 0:
+		pkt.Dst = to
+	case ss.group >= 0:
+		pkt.Group = ss.group
+	default:
+		pkt.Dst = ss.dst
+	}
+	ss.sys.Agents[ss.src].host.Send(pkt)
+}
+
+// onPull handles one pull credit from a receiver.
+func (ss *senderSession) onPull(pkt *netsim.Packet) {
+	if ss.finished {
+		return
+	}
+	if ss.group < 0 {
+		// Unicast / multi-source: one pull, one fresh symbol.
+		ss.emit(ss.nextESI(), -1)
+		return
+	}
+	from := pkt.Src
+	if tail, ok := ss.detached[from]; ok {
+		// Straggler tail: serve privately.
+		tail.served++
+		ss.emit(ss.nextESI(), from)
+		return
+	}
+	if _, ok := ss.pulls[from]; !ok {
+		return // completed receiver's stale pull
+	}
+	ss.pulls[from]++
+	ss.pump()
+}
+
+// pump multicasts one new symbol for every full round of pulls (one
+// from each attached receiver), and applies straggler detachment when
+// enabled.
+func (ss *senderSession) pump() {
+	for {
+		minP, maxP := int(^uint(0)>>1), 0
+		for _, c := range ss.pulls {
+			if c < minP {
+				minP = c
+			}
+			if c > maxP {
+				maxP = c
+			}
+		}
+		if len(ss.pulls) == 0 {
+			return
+		}
+		if ss.sys.Cfg.StragglerDetach && len(ss.pulls) > 1 &&
+			maxP-minP > ss.sys.Cfg.StragglerThreshold {
+			// A deficit exists. It may be a harmless leftover of a past
+			// transient (banked credits never drain under one-for-one
+			// round consumption), so arm a rate measurement: only if
+			// the group's emission rate over the grace window stays far
+			// below link rate is someone *persistently* throttling the
+			// group — then detach (see armGraceCheck).
+			ss.armGraceCheck()
+		}
+		if minP < 1 {
+			return
+		}
+		for r := range ss.pulls {
+			ss.pulls[r]--
+		}
+		ss.emit(ss.nextESI(), -1)
+	}
+}
+
+// armGraceCheck measures the group's emission rate over one grace
+// window. If, at expiry, a pull deficit still exists AND the group
+// emitted at under half the link's symbol rate, the minimum-credit
+// receivers are persistent stragglers: prune them from the tree and
+// serve them over private unicast tails. A transient (burst-delayed)
+// receiver passes the check because emission returns to line rate as
+// soon as its queue drains.
+func (ss *senderSession) armGraceCheck() {
+	if ss.graceArmed {
+		return
+	}
+	ss.graceArmed = true
+	ss.emittedAtArm = ss.emitted
+	ss.sys.Net.Eng.After(ss.sys.Cfg.StragglerGrace, func() {
+		ss.graceArmed = false
+		if ss.finished || len(ss.pulls) <= 1 {
+			return
+		}
+		minP, maxP := int(^uint(0)>>1), 0
+		for _, c := range ss.pulls {
+			if c < minP {
+				minP = c
+			}
+			if c > maxP {
+				maxP = c
+			}
+		}
+		if maxP-minP <= ss.sys.Cfg.StragglerThreshold {
+			return
+		}
+		// Symbols a full-rate group would have emitted in the window.
+		linkSymbolsPerSec := float64(ss.sys.Net.Cfg.LinkRate) / (8 * float64(netsim.DataSize))
+		expected := linkSymbolsPerSec * ss.sys.Cfg.StragglerGrace.Seconds()
+		if float64(ss.emitted-ss.emittedAtArm) >= expected/2 {
+			return // group is healthy; deficit is historical
+		}
+		for r, c := range ss.pulls {
+			if c == minP {
+				ss.detached[r] = &detachedTail{}
+				delete(ss.pulls, r)
+				ss.sys.detachReceiver(ss.flow, ss.group, r)
+				// Honour its already-banked credits privately.
+				for i := 0; i < c; i++ {
+					ss.emit(ss.nextESI(), r)
+				}
+			}
+		}
+		ss.pump()
+	})
+}
+
+// onReceiverDone removes a completed receiver from pull aggregation so
+// the group is never throttled by a receiver that no longer pulls.
+func (ss *senderSession) onReceiverDone(host int32) {
+	if ss.group < 0 {
+		ss.doneRecv++
+		ss.finished = true
+		return
+	}
+	delete(ss.pulls, host)
+	delete(ss.detached, host)
+	ss.doneRecv++
+	if ss.doneRecv >= len(ss.receivers) {
+		ss.finished = true
+		return
+	}
+	// Remaining receivers may have a banked round ready.
+	ss.pump()
+}

@@ -1,0 +1,298 @@
+package polyraptor
+
+import (
+	"fmt"
+	"math/rand"
+
+	"polyraptor/internal/netsim"
+	"polyraptor/internal/sim"
+)
+
+// System attaches a Polyraptor agent to every host of a network and
+// provides the session-establishment API used by the experiment
+// harness and examples.
+type System struct {
+	Net    *netsim.Network
+	Cfg    Config
+	Agents []*Agent
+
+	// PruneGroup, when set (wired by the harness to
+	// topology.PruneMulticastLeaf), removes a receiver's leaf from a
+	// multicast tree. Straggler detachment calls it so the straggler
+	// genuinely leaves the group, as the paper prescribes.
+	PruneGroup func(group int32, receiver int)
+
+	rng      *rand.Rand // decode-overhead sampling & random-ESI ablation
+	nextFlow int32
+}
+
+// detachReceiver implements the group side of straggler detachment:
+// prune the receiver's leaf from the multicast tree and tell its
+// session to ignore any in-flight multicast copies.
+func (s *System) detachReceiver(flow, group int32, receiver int32) {
+	if s.PruneGroup != nil {
+		s.PruneGroup(group, int(receiver))
+	}
+	if rs, ok := s.Agents[receiver].recvSess[flow]; ok {
+		rs.detached = true
+	}
+}
+
+// NewSystem wires an agent onto every host. The seed drives overhead
+// sampling so experiment repetitions are reproducible.
+func NewSystem(net *netsim.Network, cfg Config, seed int64) *System {
+	if cfg.SymbolPayload <= 0 {
+		panic("polyraptor: SymbolPayload must be positive")
+	}
+	if cfg.InitWindow < 1 {
+		panic("polyraptor: InitWindow must be at least 1")
+	}
+	s := &System{Net: net, Cfg: cfg, rng: sim.RNG(seed, "polyraptor-overhead")}
+	for _, h := range net.Hosts {
+		s.Agents = append(s.Agents, newAgent(s, h))
+	}
+	return s
+}
+
+// numSymbols returns K for an object of the given size.
+func (s *System) numSymbols(bytes int64) int {
+	k := int((bytes + int64(s.Cfg.SymbolPayload) - 1) / int64(s.Cfg.SymbolPayload))
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// sampleNeed samples the number of distinct symbols a receiver needs
+// before decoding succeeds, per the overhead failure model.
+func (s *System) sampleNeed(k int) int {
+	o := 0
+	for s.rng.Float64() < s.Cfg.FailProb(o) {
+		o++
+	}
+	return k + o
+}
+
+// allocFlow returns a fresh session ID.
+func (s *System) allocFlow() int32 {
+	f := s.nextFlow
+	s.nextFlow++
+	return f
+}
+
+// StartUnicast begins a one-to-one session of `bytes` from host src to
+// host dst. onDone fires when the receiver decodes the object.
+func (s *System) StartUnicast(src, dst int, bytes int64, onDone func(CompletionEvent)) int32 {
+	return s.StartMultiSource([]int{src}, dst, bytes, onDone)
+}
+
+// StartMultiSource begins a many-to-one session: the receiver fetches
+// one object of `bytes` that is available in full at every sender
+// (replicas). Source symbols are partitioned across senders; repair
+// ESIs use disjoint residue classes (or independent random draws when
+// Config.RandomESI is set, the ablation).
+func (s *System) StartMultiSource(senders []int, dst int, bytes int64, onDone func(CompletionEvent)) int32 {
+	if len(senders) == 0 {
+		panic("polyraptor: no senders")
+	}
+	flow := s.allocFlow()
+	k := s.numSymbols(bytes)
+	n := len(senders)
+
+	recv := &receiverSession{
+		sys:      s,
+		flow:     flow,
+		receiver: dst,
+		bytes:    bytes,
+		k:        k,
+		need:     s.sampleNeed(k),
+		senders:  senders,
+		start:    s.Net.Now(),
+		onDone:   onDone,
+		seen:     nil,
+	}
+	if s.Cfg.RandomESI && n > 1 {
+		recv.seen = make(map[int64]struct{}, k+16)
+	}
+	s.Agents[dst].recvSess[flow] = recv
+	recv.armTimeout()
+
+	// Partition[K, n] source symbols across senders in ESI order.
+	il, is, jl, _ := partition(k, n)
+	startESI := 0
+	for i, host := range senders {
+		span := is
+		if i < jl {
+			span = il
+		}
+		snd := &senderSession{
+			sys:        s,
+			flow:       flow,
+			src:        host,
+			k:          k,
+			group:      -1,
+			dst:        int32(dst),
+			srcNext:    int64(startESI),
+			srcEnd:     int64(startESI + span),
+			repairNext: int64(k + i),
+			stride:     int64(n),
+			senderIdx:  int32(i),
+		}
+		if s.Cfg.RandomESI {
+			snd.randESI = sim.RNG(int64(flow)*1000+int64(i), "random-esi")
+		}
+		startESI += span
+		s.Agents[host].sendSess[flow] = snd
+		snd.sendInitialWindow()
+	}
+	return flow
+}
+
+// StartMulticast begins a one-to-many session: src pushes one object
+// to every receiver over the pre-installed multicast group. onDone
+// fires once per receiver. The group's forwarding state must cover
+// exactly `receivers` (see topology.InstallMulticastGroup).
+func (s *System) StartMulticast(src int, receivers []int, group int32, bytes int64, onDone func(CompletionEvent)) int32 {
+	if len(receivers) == 0 {
+		panic("polyraptor: no receivers")
+	}
+	flow := s.allocFlow()
+	k := s.numSymbols(bytes)
+
+	snd := &senderSession{
+		sys:        s,
+		flow:       flow,
+		src:        src,
+		k:          k,
+		group:      group,
+		srcNext:    0,
+		srcEnd:     int64(k),
+		repairNext: int64(k),
+		stride:     1,
+		pulls:      make(map[int32]int, len(receivers)),
+		detached:   make(map[int32]*detachedTail),
+	}
+	for _, r := range receivers {
+		snd.receivers = append(snd.receivers, int32(r))
+		snd.pulls[int32(r)] = 0
+		recv := &receiverSession{
+			sys:      s,
+			flow:     flow,
+			receiver: r,
+			bytes:    bytes,
+			k:        k,
+			need:     s.sampleNeed(k),
+			senders:  []int{src},
+			start:    s.Net.Now(),
+			onDone:   onDone,
+		}
+		s.Agents[r].recvSess[flow] = recv
+		recv.armTimeout()
+	}
+	s.Agents[src].sendSess[flow] = snd
+	snd.sendInitialWindow()
+	return flow
+}
+
+// partition mirrors raptorq.Partition without importing it here.
+func partition(i, j int) (il, is, jl, js int) {
+	il = (i + j - 1) / j
+	is = i / j
+	jl = i - is*j
+	js = j - jl
+	return
+}
+
+// Agent is the per-host Polyraptor endpoint: it demultiplexes arriving
+// packets to sessions and owns the host's single pull queue, drained
+// at the host's link rate across all inbound sessions (paper §2).
+type Agent struct {
+	sys  *System
+	host *netsim.Host
+
+	sendSess map[int32]*senderSession
+	recvSess map[int32]*receiverSession
+
+	// Pull pacer state.
+	pullQ    []pullReq
+	pullHead int
+	pacing   bool
+}
+
+type pullReq struct {
+	flow int32
+	dst  int32 // sender host to address the pull to
+}
+
+func newAgent(sys *System, host *netsim.Host) *Agent {
+	a := &Agent{
+		sys:      sys,
+		host:     host,
+		sendSess: make(map[int32]*senderSession),
+		recvSess: make(map[int32]*receiverSession),
+	}
+	host.Deliver = a.deliver
+	return a
+}
+
+func (a *Agent) deliver(pkt *netsim.Packet) {
+	switch pkt.Kind {
+	case netsim.KindData:
+		if sess, ok := a.recvSess[pkt.Flow]; ok {
+			sess.onData(pkt)
+		}
+	case netsim.KindPull:
+		if sess, ok := a.sendSess[pkt.Flow]; ok {
+			sess.onPull(pkt)
+		}
+	case netsim.KindCtrl:
+		if sess, ok := a.sendSess[pkt.Flow]; ok {
+			sess.onReceiverDone(pkt.Src)
+		}
+	case netsim.KindAck:
+		// Unused by Polyraptor.
+	default:
+		panic(fmt.Sprintf("polyraptor: unknown packet kind %v", pkt.Kind))
+	}
+}
+
+// enqueuePull adds one pull credit to the host's shared queue and
+// starts the pacer if idle. Pacing interval is the serialization time
+// of one full data packet at the host's link rate, so the aggregate
+// data arrival rate matches link capacity.
+func (a *Agent) enqueuePull(flow, dst int32) {
+	a.pullQ = append(a.pullQ, pullReq{flow: flow, dst: dst})
+	if !a.pacing {
+		a.pacing = true
+		a.drainPull()
+	}
+}
+
+func (a *Agent) drainPull() {
+	// Iterate past pulls whose sessions completed while queued; only a
+	// live pull consumes a pacing slot. A loop (not recursion) keeps
+	// the stack flat even when thousands of stale entries drain at
+	// once at the end of a large experiment.
+	for a.pullHead < len(a.pullQ) {
+		req := a.pullQ[a.pullHead]
+		a.pullHead++
+		if sess, ok := a.recvSess[req.flow]; !ok || sess.done {
+			continue
+		}
+		a.host.Send(&netsim.Packet{
+			Flow:  req.flow,
+			Kind:  netsim.KindPull,
+			Size:  netsim.HeaderSize,
+			Src:   a.host.ID,
+			Dst:   req.dst,
+			Group: -1,
+			Spray: true,
+		})
+		interval := sim.Time(int64(netsim.DataSize) * 8 * 1e9 / a.sys.Net.Cfg.LinkRate)
+		a.sys.Net.Eng.After(interval, a.drainPull)
+		return
+	}
+	a.pullQ = a.pullQ[:0]
+	a.pullHead = 0
+	a.pacing = false
+}

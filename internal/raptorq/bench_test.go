@@ -1,0 +1,133 @@
+package raptorq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Codec micro-benchmarks: encoder construction (the precode solve),
+// symbol generation, and decoding under loss, swept over block size K.
+// These quantify the paper's "current work" question on RQ
+// encoding/decoding complexity.
+
+func benchSymbols(k, t int) [][]byte {
+	rng := rand.New(rand.NewSource(7))
+	src := make([][]byte, k)
+	for i := range src {
+		src[i] = make([]byte, t)
+		rng.Read(src[i])
+	}
+	return src
+}
+
+func BenchmarkEncoderConstruction(b *testing.B) {
+	for _, k := range []int{16, 64, 256, 1024} {
+		src := benchSymbols(k, 1024)
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			b.SetBytes(int64(k * 1024))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewEncoder(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRepairSymbol(b *testing.B) {
+	for _, k := range []int{64, 1024} {
+		src := benchSymbols(k, 1024)
+		enc, err := NewEncoder(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			buf := make([]byte, 0, 1024)
+			b.SetBytes(1024)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = enc.AppendSymbol(buf[:0], uint32(k+i))
+			}
+		})
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	// Decode with 30% of source symbols lost, repaired by repair
+	// symbols — the representative Polyraptor receive path.
+	for _, k := range []int{16, 64, 256, 1024} {
+		src := benchSymbols(k, 1024)
+		enc, err := NewEncoder(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Precompute the arrival set once: 70% of source + enough
+		// repair for +2 overhead.
+		rng := rand.New(rand.NewSource(11))
+		type arrival struct {
+			esi uint32
+			sym []byte
+		}
+		var arrivals []arrival
+		for i := 0; i < k; i++ {
+			if rng.Float64() < 0.7 {
+				arrivals = append(arrivals, arrival{uint32(i), enc.Symbol(uint32(i))})
+			}
+		}
+		esi := uint32(k)
+		for len(arrivals) < k+2 {
+			arrivals = append(arrivals, arrival{esi, enc.Symbol(esi)})
+			esi++
+		}
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			b.SetBytes(int64(k * 1024))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dec, err := NewDecoder(k, 1024)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, a := range arrivals {
+					dec.AddSymbol(a.esi, a.sym)
+				}
+				if _, err := dec.Decode(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecodeSystematicFastPath(b *testing.B) {
+	// All source symbols present: decode must be near-free.
+	k := 256
+	src := benchSymbols(k, 1024)
+	b.SetBytes(int64(k * 1024))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec, err := NewDecoder(k, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < k; j++ {
+			dec.AddSymbol(uint32(j), src[j])
+		}
+		if _, err := dec.Decode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkObjectEncode4MB(b *testing.B) {
+	data := make([]byte, 4<<20)
+	rand.New(rand.NewSource(3)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewObjectEncoder(data, 1436, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package raptorq
+
+import (
+	"errors"
+	"fmt"
+
+	"polyraptor/internal/gf256"
+)
+
+// ErrNeedMoreSymbols is returned by Decode when fewer than K encoding
+// symbols have been received.
+var ErrNeedMoreSymbols = errors.New("raptorq: need more symbols")
+
+// Decoder reconstructs the K source symbols of one source block from
+// any sufficiently large set of encoding symbols (source or repair, in
+// any order, duplicates ignored).
+//
+// Typical usage:
+//
+//	d, _ := NewDecoder(k, symbolSize)
+//	for sym := range arrivals {
+//		d.AddSymbol(sym.ESI, sym.Data)
+//		if d.Ready() {
+//			if src, err := d.Decode(); err == nil { ... }
+//		}
+//	}
+//
+// Decode may be retried after adding more symbols if it fails with
+// ErrSingular (probability ~1e-2 at zero overhead, falling roughly two
+// decades per additional symbol).
+type Decoder struct {
+	p    Params
+	t    int
+	recv map[uint32][]byte
+	// srcHave counts received symbols with esi < K (systematic fast path).
+	srcHave int
+	decoded [][]byte
+}
+
+// NewDecoder creates a decoder for a block of k source symbols of the
+// given size.
+func NewDecoder(k, symbolSize int) (*Decoder, error) {
+	if symbolSize <= 0 {
+		return nil, fmt.Errorf("raptorq: invalid symbol size %d", symbolSize)
+	}
+	p, err := NewParams(k)
+	if err != nil {
+		return nil, err
+	}
+	return &Decoder{p: p, t: symbolSize, recv: make(map[uint32][]byte, k+2)}, nil
+}
+
+// K returns the number of source symbols in the block.
+func (d *Decoder) K() int { return d.p.K }
+
+// SymbolSize returns the symbol size in bytes.
+func (d *Decoder) SymbolSize() int { return d.t }
+
+// AddSymbol stores encoding symbol esi. It returns true if the symbol
+// was new (not a duplicate). The data is copied.
+func (d *Decoder) AddSymbol(esi uint32, data []byte) (bool, error) {
+	if len(data) != d.t {
+		return false, fmt.Errorf("raptorq: symbol size %d, want %d", len(data), d.t)
+	}
+	if _, dup := d.recv[esi]; dup {
+		return false, nil
+	}
+	cp := make([]byte, d.t)
+	copy(cp, data)
+	d.recv[esi] = cp
+	if int(esi) < d.p.K {
+		d.srcHave++
+	}
+	return true, nil
+}
+
+// Received returns the number of distinct encoding symbols held.
+func (d *Decoder) Received() int { return len(d.recv) }
+
+// SourceKnown returns how many source symbols arrived directly
+// (esi < K) — these are available to the application immediately,
+// which is the paper's zero-latency systematic path for lossless
+// transfers.
+func (d *Decoder) SourceKnown() int { return d.srcHave }
+
+// Ready reports whether at least K distinct symbols are available, the
+// minimum for a decode attempt.
+func (d *Decoder) Ready() bool { return len(d.recv) >= d.p.K }
+
+// Source returns the source symbol for esi if it was received directly
+// or already decoded, else nil.
+func (d *Decoder) Source(esi uint32) []byte {
+	if d.decoded != nil {
+		return d.decoded[esi]
+	}
+	if int(esi) < d.p.K {
+		return d.recv[esi]
+	}
+	return nil
+}
+
+// Decode attempts to reconstruct all K source symbols. On success the
+// result is cached and returned on subsequent calls. It returns
+// ErrNeedMoreSymbols when fewer than K symbols are held and
+// ErrSingular when the held set does not have full rank (add more
+// symbols and retry).
+func (d *Decoder) Decode() ([][]byte, error) {
+	if d.decoded != nil {
+		return d.decoded, nil
+	}
+	if d.srcHave == d.p.K {
+		// Pure systematic delivery: no matrix work at all.
+		out := make([][]byte, d.p.K)
+		for i := 0; i < d.p.K; i++ {
+			out[i] = d.recv[uint32(i)]
+		}
+		d.decoded = out
+		return out, nil
+	}
+	if len(d.recv) < d.p.K {
+		return nil, ErrNeedMoreSymbols
+	}
+	sol := newSolver(d.p.L, d.t)
+	addConstraintRows(sol, d.p)
+	for esi, sym := range d.recv {
+		sol.addBinaryRow(d.p.LTIndices(esi), sym)
+	}
+	c, err := sol.solve()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, d.p.K)
+	for i := 0; i < d.p.K; i++ {
+		if sym, ok := d.recv[uint32(i)]; ok {
+			out[i] = sym
+			continue
+		}
+		buf := make([]byte, d.t)
+		for _, col := range d.p.LTIndices(uint32(i)) {
+			gf256.AddRow(buf, c[col])
+		}
+		out[i] = buf
+	}
+	d.decoded = out
+	return out, nil
+}

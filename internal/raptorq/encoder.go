@@ -1,0 +1,147 @@
+package raptorq
+
+import (
+	"fmt"
+
+	"polyraptor/internal/gf256"
+)
+
+// addConstraintRows installs the S LDPC binary rows and H HDPC dense
+// rows of the precode into the solver. Both encoder (precode solve) and
+// decoder (recovery solve) call this, so the constraint structure is
+// shared by construction.
+func addConstraintRows(s *solver, p Params) {
+	// LDPC rows (RFC 5053 §5.4.2.3 / RFC 6330 §5.3.3.3): each of the
+	// B free LT columns contributes to exactly three of the S LDPC rows
+	// through a circulant walk; row i additionally carries the identity
+	// column B+i and two neighbours in the PI region, which protects
+	// the LDPC equations themselves from low-weight dependencies. S is
+	// prime and the step a is in [1, S-1], so the three circulant row
+	// indices are distinct.
+	bCols := p.B()
+	ldpc := make([][]int32, p.S)
+	for i := 0; i < bCols; i++ {
+		a := 1 + (i/p.S)%(p.S-1)
+		b := i % p.S
+		ldpc[b] = append(ldpc[b], int32(i))
+		b = (b + a) % p.S
+		ldpc[b] = append(ldpc[b], int32(i))
+		b = (b + a) % p.S
+		ldpc[b] = append(ldpc[b], int32(i))
+	}
+	for i := 0; i < p.S; i++ {
+		cols := append(ldpc[i], int32(bCols+i))
+		pi1 := int32(p.W + i%p.P)
+		pi2 := int32(p.W + (i+1)%p.P)
+		if pi1 != pi2 {
+			cols = append(cols, pi1, pi2)
+		}
+		s.addBinaryRow(cols, nil)
+	}
+	// HDPC rows: dense pseudo-random GF(256) coefficients over all
+	// columns before the HDPC identities, plus an identity coefficient
+	// on column L-H+r. RFC 6330 derives these rows from a Gamma matrix
+	// product; a seeded dense random construction has the same decoding
+	// role (it catches the handful of columns the sparse phase cannot
+	// resolve) with failure probability ~2^-8 per missing rank, which
+	// the failure-curve test measures.
+	state := hdpcSeed(p)
+	for r := 0; r < p.H; r++ {
+		coeff := make([]byte, p.L)
+		for j := 0; j < p.L-p.H; j++ {
+			coeff[j] = byte(splitmix64(&state))
+		}
+		coeff[p.L-p.H+r] = 1
+		s.addDenseRow(coeff, nil)
+	}
+}
+
+func hdpcSeed(p Params) uint64 {
+	return 0x9E3779B97F4A7C15 ^ uint64(p.K)<<20 ^ uint64(p.SIdx)
+}
+
+// Encoder produces encoding symbols for a single source block. It is
+// systematic: Symbol(esi) for esi < K returns the source symbol
+// unchanged, and repair symbols (esi >= K) are valid for any esi up to
+// 2^32-1, making the code rateless.
+//
+// An Encoder is safe for concurrent use after construction: Symbol only
+// reads the intermediate symbols.
+type Encoder struct {
+	p   Params
+	t   int
+	c   [][]byte // L intermediate symbols
+	src [][]byte // source symbols (referenced, not copied)
+}
+
+// NewEncoder builds an encoder for the given source symbols. All
+// symbols must be non-empty and the same size. The source slice is
+// retained (not copied); callers must not mutate the symbols while the
+// encoder is in use.
+//
+// Construction solves the L x L precode system; cost is roughly
+// O(K * avg-degree) symbol XORs plus a small dense solve.
+func NewEncoder(source [][]byte) (*Encoder, error) {
+	k := len(source)
+	if k == 0 {
+		return nil, fmt.Errorf("raptorq: no source symbols")
+	}
+	t := len(source[0])
+	if t == 0 {
+		return nil, fmt.Errorf("raptorq: empty symbols")
+	}
+	for i, s := range source {
+		if len(s) != t {
+			return nil, fmt.Errorf("raptorq: symbol %d has size %d, want %d", i, len(s), t)
+		}
+	}
+	p, err := NewParams(k)
+	if err != nil {
+		return nil, err
+	}
+	sol := newSolver(p.L, t)
+	addConstraintRows(sol, p)
+	for i := 0; i < k; i++ {
+		sol.addBinaryRow(p.LTIndices(uint32(i)), source[i])
+	}
+	c, err := sol.solve()
+	if err != nil {
+		// The systematic index search guarantees an invertible precode,
+		// so this is unreachable unless the cache was poisoned.
+		return nil, fmt.Errorf("raptorq: precode solve failed: %w", err)
+	}
+	return &Encoder{p: p, t: t, c: c, src: source}, nil
+}
+
+// K returns the number of source symbols.
+func (e *Encoder) K() int { return e.p.K }
+
+// SymbolSize returns the symbol size T in bytes.
+func (e *Encoder) SymbolSize() int { return e.t }
+
+// Params returns the derived code parameters.
+func (e *Encoder) Params() Params { return e.p }
+
+// Symbol returns encoding symbol esi in a freshly allocated buffer.
+// For esi < K this is the source symbol (systematic fast path); for
+// esi >= K it is a repair symbol.
+func (e *Encoder) Symbol(esi uint32) []byte {
+	out := make([]byte, e.t)
+	e.AppendSymbol(out[:0], esi)
+	return out
+}
+
+// AppendSymbol appends encoding symbol esi to dst and returns the
+// extended slice. It performs no allocation when dst has capacity.
+func (e *Encoder) AppendSymbol(dst []byte, esi uint32) []byte {
+	start := len(dst)
+	if int(esi) < e.p.K && esi < uint32(len(e.src)) {
+		return append(dst, e.src[esi]...)
+	}
+	dst = append(dst, make([]byte, e.t)...)
+	buf := dst[start:]
+	for _, c := range e.p.LTIndices(esi) {
+		gf256.AddRow(buf, e.c[c])
+	}
+	return dst
+}

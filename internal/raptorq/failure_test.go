@@ -1,0 +1,98 @@
+package raptorq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// measureFailureRate runs `trials` random-loss decodes of a K-symbol
+// block where the decoder holds exactly K+overhead distinct symbols
+// (random mix of source and repair) and returns the failure fraction.
+func measureFailureRate(t testing.TB, k, overhead, trials int, seed int64) float64 {
+	t.Helper()
+	// Tiny symbols: the failure behaviour is purely structural.
+	src := make([][]byte, k)
+	for i := range src {
+		src[i] = []byte{byte(i), byte(i >> 8)}
+	}
+	enc, err := NewEncoder(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	failures := 0
+	for trial := 0; trial < trials; trial++ {
+		dec, err := NewDecoder(k, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Choose K+overhead distinct ESIs from a window of source +
+		// plenty of repair symbols.
+		window := 4 * k
+		perm := rng.Perm(window)
+		for _, e := range perm[:k+overhead] {
+			dec.AddSymbol(uint32(e), enc.Symbol(uint32(e)))
+		}
+		if _, err := dec.Decode(); err != nil {
+			failures++
+		}
+	}
+	return float64(failures) / float64(trials)
+}
+
+// TestDecodeFailureCurve checks the paper's footnote-2 property: the
+// failure probability collapses as overhead symbols are added. The RFC
+// quotes ~1e-2 at +0, 1e-4 at +1 and 1e-6 at +2; with affordable trial
+// counts we assert monotone decrease and near-zero failures at +2.
+func TestDecodeFailureCurve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("failure curve needs many trials")
+	}
+	const trials = 400
+	f0 := measureFailureRate(t, 64, 0, trials, 1)
+	f1 := measureFailureRate(t, 64, 1, trials, 2)
+	f2 := measureFailureRate(t, 64, 2, trials, 3)
+	t.Logf("failure rates: +0: %.4f  +1: %.4f  +2: %.4f", f0, f1, f2)
+	if f0 > 0.10 {
+		t.Fatalf("failure at zero overhead = %.3f, want <= 0.10", f0)
+	}
+	if f1 > f0 && f1 > 0.02 {
+		t.Fatalf("failure at +1 overhead = %.3f did not improve on +0 (%.3f)", f1, f0)
+	}
+	if f2 > 0.005 {
+		t.Fatalf("failure at +2 overhead = %.4f, want ~0 (paper: 1e-6)", f2)
+	}
+}
+
+// TestOverheadModelMatchesMeasured ties the closed-form overhead model
+// used by the protocol simulator to the real codec's behaviour: the
+// model must not be optimistic by more than a factor the simulation
+// outcome is insensitive to.
+func TestOverheadModelMatchesMeasured(t *testing.T) {
+	if testing.Short() {
+		t.Skip("needs many trials")
+	}
+	f2 := measureFailureRate(t, 32, 2, 600, 4)
+	if model := DecodeFailureProb(2); f2 > 50*model && f2 > 0.01 {
+		t.Fatalf("measured failure at +2 (%.4f) wildly exceeds model (%.6f)", f2, model)
+	}
+}
+
+// DecodeFailureProb is exercised here and consumed by the simulator.
+func TestDecodeFailureProbShape(t *testing.T) {
+	if DecodeFailureProb(0) != 1e-2 {
+		t.Fatalf("P(fail|+0) = %v, want 1e-2", DecodeFailureProb(0))
+	}
+	if DecodeFailureProb(1) != 1e-4 {
+		t.Fatalf("P(fail|+1) = %v, want 1e-4", DecodeFailureProb(1))
+	}
+	if DecodeFailureProb(2) != 1e-6 {
+		t.Fatalf("P(fail|+2) = %v, want 1e-6", DecodeFailureProb(2))
+	}
+	if DecodeFailureProb(-1) != 1 {
+		t.Fatal("P(fail) with negative overhead must be 1")
+	}
+	if DecodeFailureProb(100) > 1e-100 {
+		t.Fatal("P(fail) must become negligible for large overhead")
+	}
+}

@@ -1,0 +1,95 @@
+package raptorq
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The entire RaptorQ construction — precode solve, LT combination —
+// is linear over GF(2^8) with structure fixed by (K, SIdx). Therefore
+// for any two source blocks A and B of the same geometry and any ESI:
+//
+//	Enc(A ⊕ B)[esi] == Enc(A)[esi] ⊕ Enc(B)[esi]
+//
+// This property tests the whole encoder pipeline at once: any
+// non-determinism, cursor statefulness, or structural divergence
+// between encoder instances breaks it.
+func TestEncodingLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	k, tSize := 33, 24
+	a := randSymbols(rng, k, tSize)
+	b := randSymbols(rng, k, tSize)
+	xor := make([][]byte, k)
+	for i := range xor {
+		xor[i] = make([]byte, tSize)
+		for j := range xor[i] {
+			xor[i][j] = a[i][j] ^ b[i][j]
+		}
+	}
+	encA, err := NewEncoder(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encB, err := NewEncoder(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encX, err := NewEncoder(xor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(esi uint32) bool {
+		sa := encA.Symbol(esi)
+		sb := encB.Symbol(esi)
+		sx := encX.Symbol(esi)
+		for i := range sa {
+			if sx[i] != sa[i]^sb[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A zero source block must encode to all-zero symbols (the linear
+// map's kernel contains zero), for source and repair ESIs alike.
+func TestZeroBlockEncodesToZero(t *testing.T) {
+	src := make([][]byte, 12)
+	for i := range src {
+		src[i] = make([]byte, 8)
+	}
+	enc, err := NewEncoder(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := make([]byte, 8)
+	for esi := uint32(0); esi < 64; esi++ {
+		if !bytes.Equal(enc.Symbol(esi), zero) {
+			t.Fatalf("zero block produced non-zero symbol at ESI %d", esi)
+		}
+	}
+}
+
+// Two encoders over identical source data must agree on every
+// encoding symbol (full determinism of the pipeline).
+func TestEncoderDeterminism(t *testing.T) {
+	src := randSymbols(rand.New(rand.NewSource(32)), 20, 16)
+	e1, err := NewEncoder(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEncoder(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for esi := uint32(0); esi < 200; esi++ {
+		if !bytes.Equal(e1.Symbol(esi), e2.Symbol(esi)) {
+			t.Fatalf("encoders disagree at ESI %d", esi)
+		}
+	}
+}

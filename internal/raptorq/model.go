@@ -1,0 +1,22 @@
+package raptorq
+
+import "math"
+
+// DecodeFailureProb returns the probability that decoding a source
+// block fails when the receiver holds K+overhead distinct encoding
+// symbols. This is the closed-form model the protocol simulator uses
+// in place of running the real solver per transfer; it matches RFC
+// 6330's published curve (and the paper's footnote 2): ~1e-2 at zero
+// overhead, improving about two decades per extra symbol, with decode
+// impossible below K symbols. TestOverheadModelMatchesMeasured keeps
+// this model honest against the real codec in this package.
+func DecodeFailureProb(overhead int) float64 {
+	if overhead < 0 {
+		return 1
+	}
+	p := math.Pow(10, -2*float64(overhead+1))
+	if p < 1e-300 {
+		return 0
+	}
+	return p
+}

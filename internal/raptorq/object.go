@@ -1,0 +1,196 @@
+package raptorq
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Object-level framing: a large object is split into Z source blocks
+// (RFC 6330 §4.4.1 Partition), each independently encoded/decoded.
+// Symbols are addressed by (SBN, ESI) — source block number and
+// encoding symbol identifier — exactly the addressing Polyraptor
+// sessions use on the wire.
+
+// Partition computes RFC 6330's Partition[I, J] = (IL, IS, JL, JS):
+// J blocks covering I items, JL blocks of IL items followed by JS
+// blocks of IS items.
+func Partition(i, j int) (il, is, jl, js int) {
+	il = ceilDiv(i, j)
+	is = i / j
+	jl = i - is*j
+	js = j - jl
+	return il, is, jl, js
+}
+
+// BlockLayout describes how an object of F bytes is partitioned.
+type BlockLayout struct {
+	// F is the object size in bytes.
+	F int64
+	// T is the symbol size in bytes.
+	T int
+	// K holds the number of source symbols of each of the Z blocks.
+	K []int
+}
+
+// Z returns the number of source blocks.
+func (bl BlockLayout) Z() int { return len(bl.K) }
+
+// TotalSymbols returns the total number of source symbols across
+// blocks (Kt).
+func (bl BlockLayout) TotalSymbols() int {
+	n := 0
+	for _, k := range bl.K {
+		n += k
+	}
+	return n
+}
+
+// NewBlockLayout partitions an object of size f into blocks of at most
+// maxK symbols of size t.
+func NewBlockLayout(f int64, t, maxK int) (BlockLayout, error) {
+	if f <= 0 {
+		return BlockLayout{}, fmt.Errorf("raptorq: object size %d", f)
+	}
+	if t <= 0 {
+		return BlockLayout{}, fmt.Errorf("raptorq: symbol size %d", t)
+	}
+	if maxK <= 0 || maxK > MaxK {
+		return BlockLayout{}, fmt.Errorf("raptorq: maxK %d out of range", maxK)
+	}
+	kt := int((f + int64(t) - 1) / int64(t))
+	z := ceilDiv(kt, maxK)
+	kl, ks, zl, zs := Partition(kt, z)
+	ks2 := make([]int, 0, z)
+	for i := 0; i < zl; i++ {
+		ks2 = append(ks2, kl)
+	}
+	for i := 0; i < zs; i++ {
+		ks2 = append(ks2, ks)
+	}
+	// A zero-K block can only appear when kt < z, which ceilDiv rules out.
+	return BlockLayout{F: f, T: t, K: ks2}, nil
+}
+
+// ObjectEncoder encodes a whole object: one Encoder per source block.
+type ObjectEncoder struct {
+	layout BlockLayout
+	blocks []*Encoder
+}
+
+// NewObjectEncoder partitions data into blocks of at most maxK symbols
+// of size t and builds per-block encoders. The final symbol of the
+// final block is zero-padded; the layout records the true object size
+// so decoding strips the padding.
+func NewObjectEncoder(data []byte, t, maxK int) (*ObjectEncoder, error) {
+	layout, err := NewBlockLayout(int64(len(data)), t, maxK)
+	if err != nil {
+		return nil, err
+	}
+	enc := &ObjectEncoder{layout: layout}
+	off := 0
+	for _, k := range layout.K {
+		syms := make([][]byte, k)
+		for i := 0; i < k; i++ {
+			end := off + t
+			if end <= len(data) {
+				syms[i] = data[off:end]
+			} else {
+				// Zero-padded tail symbol.
+				pad := make([]byte, t)
+				copy(pad, data[off:])
+				syms[i] = pad
+			}
+			off = end
+		}
+		e, err := NewEncoder(syms)
+		if err != nil {
+			return nil, err
+		}
+		enc.blocks = append(enc.blocks, e)
+	}
+	return enc, nil
+}
+
+// Layout returns the object's block layout.
+func (oe *ObjectEncoder) Layout() BlockLayout { return oe.layout }
+
+// Block returns the encoder for source block sbn.
+func (oe *ObjectEncoder) Block(sbn int) *Encoder { return oe.blocks[sbn] }
+
+// Symbol returns encoding symbol (sbn, esi).
+func (oe *ObjectEncoder) Symbol(sbn int, esi uint32) []byte {
+	return oe.blocks[sbn].Symbol(esi)
+}
+
+// ObjectDecoder reassembles an object from (SBN, ESI, data) symbols.
+type ObjectDecoder struct {
+	layout BlockLayout
+	blocks []*Decoder
+	done   []bool
+	nDone  int
+}
+
+// NewObjectDecoder creates a decoder for an object with the given
+// layout (communicated out-of-band, e.g. in Polyraptor's session
+// establishment).
+func NewObjectDecoder(layout BlockLayout) (*ObjectDecoder, error) {
+	od := &ObjectDecoder{layout: layout, done: make([]bool, layout.Z())}
+	for _, k := range layout.K {
+		d, err := NewDecoder(k, layout.T)
+		if err != nil {
+			return nil, err
+		}
+		od.blocks = append(od.blocks, d)
+	}
+	return od, nil
+}
+
+// AddSymbol feeds one received symbol. It returns true if the symbol
+// was new.
+func (od *ObjectDecoder) AddSymbol(sbn int, esi uint32, data []byte) (bool, error) {
+	if sbn < 0 || sbn >= len(od.blocks) {
+		return false, fmt.Errorf("raptorq: SBN %d out of range [0,%d)", sbn, len(od.blocks))
+	}
+	return od.blocks[sbn].AddSymbol(esi, data)
+}
+
+// TryDecode attempts to decode every ready, not-yet-decoded block and
+// reports whether the whole object is now recovered.
+func (od *ObjectDecoder) TryDecode() bool {
+	for i, d := range od.blocks {
+		if od.done[i] || !d.Ready() {
+			continue
+		}
+		if _, err := d.Decode(); err == nil {
+			od.done[i] = true
+			od.nDone++
+		}
+	}
+	return od.nDone == len(od.blocks)
+}
+
+// Complete reports whether every block has been decoded.
+func (od *ObjectDecoder) Complete() bool { return od.nDone == len(od.blocks) }
+
+// BlockComplete reports whether block sbn has been decoded.
+func (od *ObjectDecoder) BlockComplete(sbn int) bool { return od.done[sbn] }
+
+// Object returns the reassembled object with padding stripped. It
+// errors if any block is still undecoded.
+func (od *ObjectDecoder) Object() ([]byte, error) {
+	if !od.Complete() {
+		return nil, errors.New("raptorq: object incomplete")
+	}
+	out := make([]byte, 0, od.layout.F)
+	for i, d := range od.blocks {
+		src, err := d.Decode()
+		if err != nil {
+			return nil, err
+		}
+		for j := range src {
+			out = append(out, src[j]...)
+		}
+		_ = i
+	}
+	return out[:od.layout.F], nil
+}

@@ -1,0 +1,128 @@
+package raptorq
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestBlockLayout(t *testing.T) {
+	bl, err := NewBlockLayout(10_000, 100, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.TotalSymbols() != 100 {
+		t.Fatalf("TotalSymbols = %d, want 100", bl.TotalSymbols())
+	}
+	if bl.Z() != 3 { // ceil(100/40) = 3 blocks
+		t.Fatalf("Z = %d, want 3", bl.Z())
+	}
+	for _, k := range bl.K {
+		if k > 40 || k < 1 {
+			t.Fatalf("block K=%d out of bounds", k)
+		}
+	}
+}
+
+func TestBlockLayoutErrors(t *testing.T) {
+	if _, err := NewBlockLayout(0, 10, 10); err == nil {
+		t.Fatal("zero-size object accepted")
+	}
+	if _, err := NewBlockLayout(10, 0, 10); err == nil {
+		t.Fatal("zero symbol size accepted")
+	}
+	if _, err := NewBlockLayout(10, 10, 0); err == nil {
+		t.Fatal("zero maxK accepted")
+	}
+	if _, err := NewBlockLayout(10, 10, MaxK+1); err == nil {
+		t.Fatal("huge maxK accepted")
+	}
+}
+
+func TestObjectRoundTripExactFit(t *testing.T) {
+	data := make([]byte, 64*100)
+	rand.New(rand.NewSource(1)).Read(data)
+	objectRoundTrip(t, data, 100, 20, 0)
+}
+
+func TestObjectRoundTripWithPadding(t *testing.T) {
+	data := make([]byte, 64*100+37) // tail symbol is padded
+	rand.New(rand.NewSource(2)).Read(data)
+	objectRoundTrip(t, data, 100, 20, 0)
+}
+
+func TestObjectRoundTripTiny(t *testing.T) {
+	objectRoundTrip(t, []byte{0x42}, 16, 10, 0)
+}
+
+func TestObjectRoundTripWithLoss(t *testing.T) {
+	data := make([]byte, 3000)
+	rand.New(rand.NewSource(3)).Read(data)
+	objectRoundTrip(t, data, 100, 10, 0.25)
+}
+
+// objectRoundTrip encodes data, delivers source symbols with the given
+// loss rate plus repair symbols as needed, and verifies reassembly.
+func objectRoundTrip(t *testing.T, data []byte, symSize, maxK int, loss float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	enc, err := NewObjectEncoder(data, symSize, maxK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := NewObjectDecoder(enc.Layout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sbn, k := range enc.Layout().K {
+		for i := 0; i < k; i++ {
+			if rng.Float64() < loss {
+				continue
+			}
+			if _, err := dec.AddSymbol(sbn, uint32(i), enc.Symbol(sbn, uint32(i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		esi := uint32(k)
+		for !dec.BlockComplete(sbn) {
+			dec.TryDecode()
+			if dec.BlockComplete(sbn) {
+				break
+			}
+			dec.AddSymbol(sbn, esi, enc.Symbol(sbn, esi))
+			esi++
+			if esi > uint32(k+100) {
+				t.Fatalf("block %d did not decode", sbn)
+			}
+		}
+	}
+	if !dec.Complete() {
+		t.Fatal("object incomplete after all blocks decoded")
+	}
+	got, err := dec.Object()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("object round trip corrupted data")
+	}
+}
+
+func TestObjectDecoderRejectsBadSBN(t *testing.T) {
+	enc, _ := NewObjectEncoder(make([]byte, 100), 10, 5)
+	dec, _ := NewObjectDecoder(enc.Layout())
+	if _, err := dec.AddSymbol(99, 0, make([]byte, 10)); err == nil {
+		t.Fatal("out-of-range SBN accepted")
+	}
+	if _, err := dec.AddSymbol(-1, 0, make([]byte, 10)); err == nil {
+		t.Fatal("negative SBN accepted")
+	}
+}
+
+func TestObjectIncompleteErrors(t *testing.T) {
+	enc, _ := NewObjectEncoder(make([]byte, 100), 10, 5)
+	dec, _ := NewObjectDecoder(enc.Layout())
+	if _, err := dec.Object(); err == nil {
+		t.Fatal("Object() on incomplete decoder succeeded")
+	}
+}

@@ -1,0 +1,134 @@
+package raptorq
+
+import "testing"
+
+func TestNewParamsBasicInvariants(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 10, 17, 50, 100, 317, 1000, 2048} {
+		p, err := NewParams(k)
+		if err != nil {
+			t.Fatalf("NewParams(%d): %v", k, err)
+		}
+		if p.K != k {
+			t.Fatalf("K = %d, want %d", p.K, k)
+		}
+		if !isPrime(p.S) {
+			t.Fatalf("K=%d: S=%d is not prime", k, p.S)
+		}
+		if p.S < 3 {
+			t.Fatalf("K=%d: S=%d too small for the LDPC circulant", k, p.S)
+		}
+		if choose(p.H, (p.H+1)/2) < int64(p.K+p.S) {
+			t.Fatalf("K=%d: H=%d violates choose(H,ceil(H/2)) >= K+S", k, p.H)
+		}
+		if p.L != p.K+p.S+p.H {
+			t.Fatalf("K=%d: L=%d != K+S+H=%d", k, p.L, p.K+p.S+p.H)
+		}
+		if p.W+p.P != p.L {
+			t.Fatalf("K=%d: W+P=%d != L=%d", k, p.W+p.P, p.L)
+		}
+		if p.B() < 1 {
+			t.Fatalf("K=%d: B=%d, need at least one free LT column", k, p.B())
+		}
+		if p.P < p.H {
+			t.Fatalf("K=%d: P=%d < H=%d, PI region must hold the HDPC symbols", k, p.P, p.H)
+		}
+		if !isPrime(p.Wp) || p.Wp < p.W || (isPrime(p.Wp-1) && p.Wp-1 >= p.W) {
+			t.Fatalf("K=%d: Wp=%d not smallest prime >= W=%d", k, p.Wp, p.W)
+		}
+		if !isPrime(p.Pp) || p.Pp < p.P || (isPrime(p.Pp-1) && p.Pp-1 >= p.P) {
+			t.Fatalf("K=%d: Pp=%d not smallest prime >= P=%d", k, p.Pp, p.P)
+		}
+	}
+}
+
+func TestNewParamsRejectsBadK(t *testing.T) {
+	for _, k := range []int{0, -1, MaxK + 1} {
+		if _, err := NewParams(k); err == nil {
+			t.Fatalf("NewParams(%d) succeeded, want error", k)
+		}
+	}
+}
+
+func TestParamsMonotoneOverhead(t *testing.T) {
+	// The precode overhead (S+H) must grow sublinearly: for K=1000 it
+	// should be well under 10% of K.
+	p, err := NewParams(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.S+p.H > 100 {
+		t.Fatalf("precode overhead S+H = %d too large for K=1000", p.S+p.H)
+	}
+}
+
+func TestSystematicIndexDeterministic(t *testing.T) {
+	a, err := NewParams(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewParams(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("NewParams not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	cases := []struct {
+		i, j           int
+		il, is, jl, js int
+	}{
+		{10, 3, 4, 3, 1, 2},
+		{9, 3, 3, 3, 0, 3},
+		{1, 1, 1, 1, 0, 1},
+		{7, 2, 4, 3, 1, 1},
+	}
+	for _, c := range cases {
+		il, is, jl, js := Partition(c.i, c.j)
+		if il != c.il || is != c.is || jl != c.jl || js != c.js {
+			t.Fatalf("Partition(%d,%d) = (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+				c.i, c.j, il, is, jl, js, c.il, c.is, c.jl, c.js)
+		}
+		if jl*il+js*is != c.i {
+			t.Fatalf("Partition(%d,%d) does not cover all items", c.i, c.j)
+		}
+	}
+}
+
+func TestPrimeHelpers(t *testing.T) {
+	primes := []int{2, 3, 5, 7, 11, 13, 101, 997}
+	for _, p := range primes {
+		if !isPrime(p) {
+			t.Fatalf("isPrime(%d) = false", p)
+		}
+	}
+	composites := []int{0, 1, 4, 9, 100, 999}
+	for _, c := range composites {
+		if isPrime(c) {
+			t.Fatalf("isPrime(%d) = true", c)
+		}
+	}
+	if nextPrime(8) != 11 {
+		t.Fatalf("nextPrime(8) = %d, want 11", nextPrime(8))
+	}
+	if nextPrime(11) != 11 {
+		t.Fatalf("nextPrime(11) = %d, want 11", nextPrime(11))
+	}
+}
+
+func TestChoose(t *testing.T) {
+	if choose(5, 2) != 10 {
+		t.Fatalf("choose(5,2) = %d", choose(5, 2))
+	}
+	if choose(10, 5) != 252 {
+		t.Fatalf("choose(10,5) = %d", choose(10, 5))
+	}
+	if choose(4, 0) != 1 || choose(4, 4) != 1 {
+		t.Fatal("choose boundary cases wrong")
+	}
+	if choose(3, 5) != 0 {
+		t.Fatal("choose(3,5) should be 0")
+	}
+}

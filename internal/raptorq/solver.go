@@ -1,0 +1,324 @@
+package raptorq
+
+import (
+	"errors"
+
+	"polyraptor/internal/gf256"
+)
+
+// ErrSingular is returned when the received equations do not determine
+// the intermediate symbols — the decoder needs more symbols.
+var ErrSingular = errors.New("raptorq: equation system is singular")
+
+// The solver performs sparse Gaussian elimination with column
+// inactivation (the workhorse of RaptorQ decoding, RFC 6330 §5.4.2):
+//
+//  1. Peel: repeatedly pick a binary row whose active-column degree is
+//     one; that (row, column) pair becomes a pivot. Because the pivot
+//     row has a single active column, eliminating it from other rows
+//     adds no active fill-in — only the pivot's inactive references and
+//     its right-hand-side symbol propagate.
+//  2. When no degree-one row exists, the highest-degree active column
+//     is *inactivated*: removed from the active structure and deferred
+//     to a small dense system.
+//  3. The dense system over the inactivated columns is assembled from
+//     the leftover binary rows and the HDPC rows (with pivoted columns
+//     substituted out) and solved by Gauss-Jordan over GF(256).
+//  4. Back-substitution through the pivot list yields every
+//     intermediate symbol.
+//
+// Rows own their symbol buffers (inputs are copied), so callers may
+// retry a failed solve on a fresh solver after collecting more rows.
+
+// binRow is a GF(2) equation: XOR of the symbols at the active and
+// inactive columns equals sym.
+type binRow struct {
+	active map[int32]struct{}
+	inact  map[int32]struct{}
+	sym    []byte
+}
+
+// denseRow is a GF(256) equation: sum(coeff[c] * symbol[c]) = sym.
+type denseRow struct {
+	coeff []byte
+	sym   []byte
+}
+
+// Column lifecycle inside a solve.
+const (
+	colAlive = iota
+	colPivoted
+	colInactive
+)
+
+type solver struct {
+	l int // number of unknowns (intermediate symbols)
+	t int // symbol size in bytes; 0 for structure-only rank checks
+
+	bin   []*binRow
+	dense []*denseRow
+
+	// colRows[c] is the set of binary-row indices whose active set
+	// currently contains column c.
+	colRows []map[int32]struct{}
+}
+
+func newSolver(l, t int) *solver {
+	return &solver{
+		l:       l,
+		t:       t,
+		colRows: make([]map[int32]struct{}, l),
+	}
+}
+
+// addBinaryRow adds the equation XOR(cols) = sym. cols must be
+// distinct. sym is copied; nil is treated as the zero symbol.
+func (s *solver) addBinaryRow(cols []int32, sym []byte) {
+	r := &binRow{
+		active: make(map[int32]struct{}, len(cols)),
+		inact:  make(map[int32]struct{}),
+		sym:    s.copySym(sym),
+	}
+	rid := int32(len(s.bin))
+	for _, c := range cols {
+		r.active[c] = struct{}{}
+		if s.colRows[c] == nil {
+			s.colRows[c] = make(map[int32]struct{})
+		}
+		s.colRows[c][rid] = struct{}{}
+	}
+	s.bin = append(s.bin, r)
+}
+
+// addDenseRow adds the equation sum(coeff[c]*symbol[c]) = sym. coeff
+// must have length l. Both slices are copied.
+func (s *solver) addDenseRow(coeff []byte, sym []byte) {
+	cc := make([]byte, s.l)
+	copy(cc, coeff)
+	s.dense = append(s.dense, &denseRow{coeff: cc, sym: s.copySym(sym)})
+}
+
+func (s *solver) copySym(sym []byte) []byte {
+	out := make([]byte, s.t)
+	copy(out, sym)
+	return out
+}
+
+type pivot struct {
+	row, col int32
+}
+
+// solve returns the l intermediate symbols, or ErrSingular.
+func (s *solver) solve() ([][]byte, error) {
+	var (
+		pivots   []pivot
+		isPivot  = make([]bool, len(s.bin))
+		colState = make([]uint8, s.l)
+		inactive []int32
+		inactIdx = make(map[int32]int)
+		queue    []int32 // candidate degree-one rows (validated lazily)
+	)
+	for rid, r := range s.bin {
+		if len(r.active) == 1 {
+			queue = append(queue, int32(rid))
+		}
+	}
+	alive := s.l
+
+	for alive > 0 {
+		rid := int32(-1)
+		for len(queue) > 0 {
+			cand := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			if !isPivot[cand] && len(s.bin[cand].active) == 1 {
+				rid = cand
+				break
+			}
+		}
+		if rid >= 0 {
+			r := s.bin[rid]
+			var c int32
+			for col := range r.active {
+				c = col
+			}
+			// Eliminate c from every other row containing it. The pivot
+			// row has no other active columns, so no fill-in occurs.
+			for orid := range s.colRows[c] {
+				if orid == rid {
+					continue
+				}
+				o := s.bin[orid]
+				delete(o.active, c)
+				symDiff(o.inact, r.inact)
+				if s.t > 0 {
+					gf256.AddRow(o.sym, r.sym)
+				}
+				if len(o.active) == 1 {
+					queue = append(queue, orid)
+				}
+			}
+			s.colRows[c] = nil
+			delete(r.active, c)
+			isPivot[rid] = true
+			colState[c] = colPivoted
+			pivots = append(pivots, pivot{rid, c})
+			alive--
+			continue
+		}
+		// No degree-one row: inactivate the alive column with the most
+		// row references, which maximises degree reduction elsewhere.
+		// Alive columns with no references at all (only reachable via
+		// HDPC rows) are inactivated too, so the dense phase determines
+		// them.
+		best, bestDeg := int32(-1), -1
+		for c := int32(0); c < int32(s.l); c++ {
+			if colState[c] != colAlive {
+				continue
+			}
+			if d := len(s.colRows[c]); d > bestDeg {
+				best, bestDeg = c, d
+			}
+		}
+		if best < 0 {
+			break // unreachable: alive > 0 implies an alive column exists
+		}
+		for orid := range s.colRows[best] {
+			o := s.bin[orid]
+			delete(o.active, best)
+			o.inact[best] = struct{}{}
+			if len(o.active) == 1 {
+				queue = append(queue, orid)
+			}
+		}
+		s.colRows[best] = nil
+		colState[best] = colInactive
+		inactIdx[best] = len(inactive)
+		inactive = append(inactive, best)
+		alive--
+	}
+
+	// Assemble the dense system over the inactivated columns.
+	u := len(inactive)
+	var eq [][]byte
+	var eqSym [][]byte
+	for rid, r := range s.bin {
+		if isPivot[rid] || len(r.inact) == 0 {
+			continue
+		}
+		coeff := make([]byte, u)
+		for c := range r.inact {
+			coeff[inactIdx[c]] = 1
+		}
+		eq = append(eq, coeff)
+		eqSym = append(eqSym, r.sym)
+	}
+	for _, dr := range s.dense {
+		for _, pv := range pivots {
+			beta := dr.coeff[pv.col]
+			if beta == 0 {
+				continue
+			}
+			dr.coeff[pv.col] = 0
+			pr := s.bin[pv.row]
+			if s.t > 0 {
+				gf256.MulAddRow(dr.sym, pr.sym, beta)
+			}
+			for c := range pr.inact {
+				dr.coeff[c] ^= beta // GF(256) add of beta * 1
+			}
+		}
+		coeff := make([]byte, u)
+		for i, c := range inactive {
+			coeff[i] = dr.coeff[c]
+		}
+		eq = append(eq, coeff)
+		eqSym = append(eqSym, dr.sym)
+	}
+
+	vals, err := gaussJordan(eq, eqSym, u, s.t)
+	if err != nil {
+		return nil, err
+	}
+
+	// Back-substitute. Pivot equations reference only inactive columns,
+	// so order is irrelevant.
+	out := make([][]byte, s.l)
+	for i, c := range inactive {
+		out[c] = vals[i]
+	}
+	for _, pv := range pivots {
+		r := s.bin[pv.row]
+		sym := r.sym
+		if s.t > 0 {
+			for c := range r.inact {
+				gf256.AddRow(sym, out[c])
+			}
+		}
+		out[pv.col] = sym
+	}
+	for c := range out {
+		if out[c] == nil {
+			return nil, ErrSingular
+		}
+	}
+	return out, nil
+}
+
+// gaussJordan solves the dense m x u system over GF(256) and returns
+// the u unknown symbols. Rows and symbols are mutated in place.
+func gaussJordan(eq [][]byte, eqSym [][]byte, u, t int) ([][]byte, error) {
+	if len(eq) < u {
+		return nil, ErrSingular
+	}
+	rowOfCol := make([]int, u)
+	row := 0
+	for col := 0; col < u; col++ {
+		sel := -1
+		for r := row; r < len(eq); r++ {
+			if eq[r][col] != 0 {
+				sel = r
+				break
+			}
+		}
+		if sel < 0 {
+			return nil, ErrSingular
+		}
+		eq[row], eq[sel] = eq[sel], eq[row]
+		eqSym[row], eqSym[sel] = eqSym[sel], eqSym[row]
+		if pc := eq[row][col]; pc != 1 {
+			inv := gf256.Inv(pc)
+			gf256.ScaleRow(eq[row], inv)
+			if t > 0 {
+				gf256.ScaleRow(eqSym[row], inv)
+			}
+		}
+		for r := 0; r < len(eq); r++ {
+			if r == row || eq[r][col] == 0 {
+				continue
+			}
+			beta := eq[r][col]
+			gf256.MulAddRow(eq[r], eq[row], beta)
+			if t > 0 {
+				gf256.MulAddRow(eqSym[r], eqSym[row], beta)
+			}
+		}
+		rowOfCol[col] = row
+		row++
+	}
+	vals := make([][]byte, u)
+	for col := 0; col < u; col++ {
+		vals[col] = eqSym[rowOfCol[col]]
+	}
+	return vals, nil
+}
+
+// symDiff applies dst ^= src in set form (symmetric difference).
+func symDiff(dst, src map[int32]struct{}) {
+	for k := range src {
+		if _, ok := dst[k]; ok {
+			delete(dst, k)
+		} else {
+			dst[k] = struct{}{}
+		}
+	}
+}

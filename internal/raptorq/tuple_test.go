@@ -1,0 +1,142 @@
+package raptorq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustParams(t testing.TB, k int) Params {
+	t.Helper()
+	p, err := NewParams(k)
+	if err != nil {
+		t.Fatalf("NewParams(%d): %v", k, err)
+	}
+	return p
+}
+
+func TestLTIndicesDistinctAndInRange(t *testing.T) {
+	p := mustParams(t, 200)
+	check := func(esi uint32) bool {
+		idx := p.LTIndices(esi)
+		if len(idx) == 0 {
+			return false
+		}
+		seen := make(map[int32]bool, len(idx))
+		for _, c := range idx {
+			if c < 0 || c >= int32(p.L) || seen[c] {
+				return false
+			}
+			seen[c] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLTIndicesDeterministic(t *testing.T) {
+	p := mustParams(t, 64)
+	for esi := uint32(0); esi < 100; esi++ {
+		a := p.LTIndices(esi)
+		b := p.LTIndices(esi)
+		if len(a) != len(b) {
+			t.Fatalf("esi %d: lengths differ", esi)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("esi %d: indices differ at %d", esi, i)
+			}
+		}
+	}
+}
+
+func TestDegreeDistributionShape(t *testing.T) {
+	p := mustParams(t, 1000)
+	counts := make(map[int]int)
+	const n = 20000
+	for esi := uint32(0); esi < n; esi++ {
+		counts[p.Degree(esi+1000)]++ // repair region
+	}
+	// Degree 2 must dominate (LT soliton-like shape): roughly half.
+	frac2 := float64(counts[2]) / n
+	if frac2 < 0.40 || frac2 > 0.60 {
+		t.Fatalf("degree-2 fraction = %.3f, want ~0.5", frac2)
+	}
+	// Degree 1 must be rare but present.
+	frac1 := float64(counts[1]) / n
+	if frac1 > 0.02 {
+		t.Fatalf("degree-1 fraction = %.3f, want < 0.02", frac1)
+	}
+	// Mean degree should be modest (fountain codes: ~4-6).
+	sum := 0
+	for d, c := range counts {
+		sum += d * c
+	}
+	mean := float64(sum) / n
+	if mean < 3 || mean > 8 {
+		t.Fatalf("mean degree = %.2f, want in [3,8]", mean)
+	}
+}
+
+func TestDegreeCapForTinyBlocks(t *testing.T) {
+	p := mustParams(t, 1)
+	for esi := uint32(0); esi < 1000; esi++ {
+		if d := p.Degree(esi); d > p.L-1 {
+			t.Fatalf("esi %d: degree %d exceeds L-1=%d", esi, d, p.L-1)
+		}
+	}
+}
+
+func TestDegTableMonotone(t *testing.T) {
+	for i := 1; i < len(degCum); i++ {
+		if degCum[i] <= degCum[i-1] {
+			t.Fatalf("degCum not strictly increasing at %d", i)
+		}
+	}
+	if degCum[len(degCum)-1] != 1<<20 {
+		t.Fatalf("degCum must end at 2^20, got %d", degCum[len(degCum)-1])
+	}
+}
+
+func TestDegBoundaries(t *testing.T) {
+	if deg(0) != 1 {
+		t.Fatalf("deg(0) = %d, want 1", deg(0))
+	}
+	if deg(degCum[1]-1) != 1 {
+		t.Fatalf("deg at upper edge of first bucket = %d, want 1", deg(degCum[1]-1))
+	}
+	if deg(degCum[1]) != 2 {
+		t.Fatalf("deg at start of second bucket = %d, want 2", deg(degCum[1]))
+	}
+	if deg(1<<20-1) != 30 {
+		t.Fatalf("deg(max) = %d, want 30", deg(1<<20-1))
+	}
+}
+
+func TestRndInRangeAndDeterministic(t *testing.T) {
+	for _, m := range []uint32{1, 2, 7, 255, 1 << 20} {
+		for y := uint32(0); y < 200; y++ {
+			v := rnd(y*2654435761, 3, m)
+			if v >= m {
+				t.Fatalf("rnd out of range: %d >= %d", v, m)
+			}
+			if v != rnd(y*2654435761, 3, m) {
+				t.Fatal("rnd not deterministic")
+			}
+		}
+	}
+}
+
+func TestRndSpreads(t *testing.T) {
+	// Different i parameters must decorrelate outputs for the same y.
+	same := 0
+	for y := uint32(0); y < 1000; y++ {
+		if rnd(y, 0, 1<<16) == rnd(y, 1, 1<<16) {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Fatalf("rnd(y,0,·) == rnd(y,1,·) too often: %d/1000", same)
+	}
+}

@@ -1,0 +1,461 @@
+// Package rqudp is the real-network Polyraptor transport: a
+// receiver-driven, RaptorQ-coded object transfer protocol over UDP
+// (any net.PacketConn). It runs the actual codec from
+// internal/raptorq end to end — unlike the protocol simulator, every
+// symbol on the wire here carries coded bytes.
+//
+// The protocol mirrors the paper's design at real-network granularity:
+//
+//	receiver                            sender
+//	   | -- Hello{flow, idx, count} -->   |   (per sender; idx/count
+//	   |                                  |    fix the ESI partition)
+//	   | <-- Announce{F, T, maxK} ------  |
+//	   | <-- Data x InitWindow ---------  |   (source symbols first)
+//	   | -- Pull{credits} ------------->  |   (one per arrival)
+//	   | <-- Data ... ------------------  |
+//	   | -- Done ---------------------->  |
+//
+// Lost symbols are never re-requested: a pull elicits the next fresh
+// symbol, which contributes equally to decoding. Multi-source fetches
+// send one Hello per sender with a distinct index; senders partition
+// source symbols and use disjoint repair ESI residue classes, so an
+// uncoordinated replica set never produces duplicate symbols.
+package rqudp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"polyraptor/internal/raptorq"
+	"polyraptor/internal/wire"
+)
+
+// Config tunes the transport.
+type Config struct {
+	// SymbolSize is the payload bytes per symbol (default 1024, which
+	// keeps packets under typical MTUs with headroom).
+	SymbolSize int
+	// MaxBlockK bounds source symbols per block (default 256; larger
+	// blocks amortise better but decode slower).
+	MaxBlockK int
+	// InitWindow is the number of symbols a sender blasts after Hello.
+	InitWindow int
+	// PullBatch is the credit count in recovery pulls issued by the
+	// stall guard.
+	PullBatch int
+	// RetryInterval is the receiver's stall guard period.
+	RetryInterval time.Duration
+	// MaxRetries bounds consecutive stall recoveries before the fetch
+	// aborts.
+	MaxRetries int
+}
+
+// DefaultConfig returns sane defaults for LAN/loopback use.
+func DefaultConfig() Config {
+	return Config{
+		SymbolSize:    1024,
+		MaxBlockK:     256,
+		InitWindow:    16,
+		PullBatch:     16,
+		RetryInterval: 100 * time.Millisecond,
+		MaxRetries:    50,
+	}
+}
+
+func (c Config) validate() error {
+	if c.SymbolSize <= 0 || c.SymbolSize > 60000 {
+		return fmt.Errorf("rqudp: SymbolSize %d out of range", c.SymbolSize)
+	}
+	if c.MaxBlockK <= 0 || c.MaxBlockK > raptorq.MaxK {
+		return fmt.Errorf("rqudp: MaxBlockK %d out of range", c.MaxBlockK)
+	}
+	if c.InitWindow < 1 || c.PullBatch < 1 {
+		return fmt.Errorf("rqudp: InitWindow and PullBatch must be >= 1")
+	}
+	if c.RetryInterval <= 0 || c.MaxRetries < 1 {
+		return fmt.Errorf("rqudp: RetryInterval and MaxRetries must be positive")
+	}
+	return nil
+}
+
+// Server serves one object to any number of receivers over a packet
+// connection. Create it with NewServer, run Serve in a goroutine, and
+// Close to stop.
+type Server struct {
+	conn net.PacketConn
+	cfg  Config
+	enc  *raptorq.ObjectEncoder
+
+	sessions map[string]*serveSession
+	closed   chan struct{}
+}
+
+// serveSession tracks one receiver's cursors. Sessions are touched
+// only by the Serve goroutine, so no locking is needed.
+type serveSession struct {
+	hello      wire.Hello
+	cursors    []senderCursor
+	rrBlock    int // round-robin block pointer for repair symbols
+	lastActive time.Time
+}
+
+// senderCursor is the per-block symbol schedule for one sender in an
+// n-way fetch: its slice of the source symbols, then repair ESIs from
+// its residue class (K + idx, step n) — the paper's duplicate-free
+// partitioning.
+type senderCursor struct {
+	srcNext, srcEnd int64
+	repairNext      int64
+	stride          int64
+}
+
+// NewServer builds the object encoders (the expensive part) and
+// returns a server ready to Serve.
+func NewServer(conn net.PacketConn, object []byte, cfg Config) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	enc, err := raptorq.NewObjectEncoder(object, cfg.SymbolSize, cfg.MaxBlockK)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		conn:     conn,
+		cfg:      cfg,
+		enc:      enc,
+		sessions: make(map[string]*serveSession),
+		closed:   make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the server's listening address.
+func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+
+// Close stops Serve and closes the connection.
+func (s *Server) Close() error {
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	return s.conn.Close()
+}
+
+// Serve processes packets until Close. It is single-goroutine by
+// design: the encoder is immutable after construction and sessions are
+// private to this loop.
+func (s *Server) Serve() error {
+	buf := make([]byte, 65536)
+	lastSweep := time.Now()
+	for {
+		select {
+		case <-s.closed:
+			return nil
+		default:
+		}
+		_ = s.conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, from, err := s.conn.ReadFrom(buf)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if time.Since(lastSweep) > time.Minute {
+					s.sweep()
+					lastSweep = time.Now()
+				}
+				continue
+			}
+			select {
+			case <-s.closed:
+				return nil
+			default:
+				return err
+			}
+		}
+		s.handle(buf[:n], from)
+	}
+}
+
+// sweep drops sessions idle for over a minute (lost Done messages).
+func (s *Server) sweep() {
+	cutoff := time.Now().Add(-time.Minute)
+	for k, sess := range s.sessions {
+		if sess.lastActive.Before(cutoff) {
+			delete(s.sessions, k)
+		}
+	}
+}
+
+func (s *Server) handle(pkt []byte, from net.Addr) {
+	hdr, body, err := wire.ParseHeader(pkt)
+	if err != nil {
+		return // not ours; drop
+	}
+	key := fmt.Sprintf("%s|%d", from.String(), hdr.Flow)
+	switch hdr.Type {
+	case wire.MsgHello:
+		hello, err := wire.ParseHello(hdr.Flow, body)
+		if err != nil {
+			return
+		}
+		sess, ok := s.sessions[key]
+		if !ok {
+			sess = s.newSession(hello)
+			s.sessions[key] = sess
+		}
+		sess.lastActive = time.Now()
+		layout := s.enc.Layout()
+		out := wire.AppendAnnounce(nil, wire.Announce{
+			Flow:       hdr.Flow,
+			ObjectSize: uint64(layout.F),
+			SymbolSize: uint32(layout.T),
+			MaxK:       uint32(s.cfg.MaxBlockK),
+		})
+		_, _ = s.conn.WriteTo(out, from)
+		// Initial window (fresh symbols even on Hello retry: with a
+		// rateless code anything we send is useful).
+		for i := 0; i < s.cfg.InitWindow; i++ {
+			s.emit(sess, hdr.Flow, from)
+		}
+	case wire.MsgPull:
+		pull, err := wire.ParsePull(hdr.Flow, body)
+		if err != nil {
+			return
+		}
+		sess, ok := s.sessions[key]
+		if !ok {
+			return // unknown session: receiver must re-Hello
+		}
+		sess.lastActive = time.Now()
+		credits := int(pull.Credits)
+		if credits > 1024 {
+			credits = 1024 // cap malicious/corrupt credit counts
+		}
+		for i := 0; i < credits; i++ {
+			s.emit(sess, hdr.Flow, from)
+		}
+	case wire.MsgDone:
+		delete(s.sessions, key)
+	}
+}
+
+// newSession builds the per-block cursors for one receiver.
+func (s *Server) newSession(h wire.Hello) *serveSession {
+	layout := s.enc.Layout()
+	sess := &serveSession{hello: h}
+	n := int64(h.SenderCount)
+	idx := int64(h.SenderIdx)
+	for _, k := range layout.K {
+		kk := int64(k)
+		il, is, jl, _ := raptorq.Partition(k, int(n))
+		var start int64
+		span := int64(is)
+		if idx < int64(jl) {
+			span = int64(il)
+			start = idx * int64(il)
+		} else {
+			start = int64(jl)*int64(il) + (idx-int64(jl))*int64(is)
+		}
+		sess.cursors = append(sess.cursors, senderCursor{
+			srcNext:    start,
+			srcEnd:     start + span,
+			repairNext: kk + idx,
+			stride:     n,
+		})
+	}
+	return sess
+}
+
+// emit sends the session's next symbol: source symbols of the
+// partition block by block, then repair symbols round-robin across
+// blocks.
+func (s *Server) emit(sess *serveSession, flow uint32, to net.Addr) {
+	// Source phase.
+	for b := range sess.cursors {
+		cur := &sess.cursors[b]
+		if cur.srcNext < cur.srcEnd {
+			esi := cur.srcNext
+			cur.srcNext++
+			s.send(flow, b, uint32(esi), to)
+			return
+		}
+	}
+	// Repair phase: round-robin blocks.
+	b := sess.rrBlock % len(sess.cursors)
+	sess.rrBlock++
+	cur := &sess.cursors[b]
+	esi := cur.repairNext
+	cur.repairNext += cur.stride
+	s.send(flow, b, uint32(esi), to)
+}
+
+func (s *Server) send(flow uint32, sbn int, esi uint32, to net.Addr) {
+	payload := s.enc.Symbol(sbn, esi)
+	out := wire.AppendData(make([]byte, 0, len(payload)+32), wire.Data{
+		Flow:    flow,
+		SBN:     uint32(sbn),
+		ESI:     esi,
+		Payload: payload,
+	})
+	_, _ = s.conn.WriteTo(out, to)
+}
+
+// FetchStats reports what happened during a fetch.
+type FetchStats struct {
+	// Symbols is the number of fresh (non-duplicate) symbols received.
+	Symbols int
+	// Duplicates counts symbols the decoder already held (e.g. after a
+	// Hello retry re-triggered an initial window).
+	Duplicates int
+	// PerSender counts fresh symbols contributed by each remote, in
+	// the order passed to FetchMultiSource — the observable form of
+	// the paper's "each server contributes symbols at its available
+	// capacity".
+	PerSender []int
+	// Retries is the number of stall recoveries performed.
+	Retries int
+	// Elapsed is the wall-clock fetch duration.
+	Elapsed time.Duration
+}
+
+// Fetch retrieves the object served at remote over conn (unicast).
+func Fetch(ctx context.Context, conn net.PacketConn, remote net.Addr, flow uint32, cfg Config) ([]byte, error) {
+	data, _, err := FetchMultiSourceStats(ctx, conn, []net.Addr{remote}, flow, cfg)
+	return data, err
+}
+
+// FetchMultiSource retrieves one object replicated at every remote,
+// pulling from all of them concurrently (the paper's many-to-one
+// pattern). The senders need no coordination: the Hello index fixes
+// each one's disjoint symbol schedule.
+func FetchMultiSource(ctx context.Context, conn net.PacketConn, remotes []net.Addr, flow uint32, cfg Config) ([]byte, error) {
+	data, _, err := FetchMultiSourceStats(ctx, conn, remotes, flow, cfg)
+	return data, err
+}
+
+// FetchMultiSourceStats is FetchMultiSource returning transfer
+// statistics alongside the object.
+func FetchMultiSourceStats(ctx context.Context, conn net.PacketConn, remotes []net.Addr, flow uint32, cfg Config) ([]byte, FetchStats, error) {
+	start := time.Now()
+	stats := FetchStats{PerSender: make([]int, len(remotes))}
+	if err := cfg.validate(); err != nil {
+		return nil, stats, err
+	}
+	if len(remotes) == 0 || len(remotes) > 255 {
+		return nil, stats, fmt.Errorf("rqudp: %d remotes", len(remotes))
+	}
+	// senderOf maps a source address back to its index in remotes.
+	senderOf := make(map[string]int, len(remotes))
+	for i, r := range remotes {
+		senderOf[r.String()] = i
+	}
+	sendHello := func() {
+		for i, r := range remotes {
+			out := wire.AppendHello(nil, wire.Hello{
+				Flow:        flow,
+				SenderIdx:   uint8(i),
+				SenderCount: uint8(len(remotes)),
+			})
+			_, _ = conn.WriteTo(out, r)
+		}
+	}
+	sendHello()
+
+	var (
+		dec      *raptorq.ObjectDecoder
+		buf      = make([]byte, 65536)
+		retries  = 0
+		progress = false // any new symbol since last stall check
+		lastTick = time.Now()
+	)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, stats, err
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(cfg.RetryInterval / 4))
+		n, from, err := conn.ReadFrom(buf)
+		if err != nil {
+			var ne net.Error
+			if !errors.As(err, &ne) || !ne.Timeout() {
+				return nil, stats, err
+			}
+			// Stall guard: on timeout with no progress, re-prime.
+			if time.Since(lastTick) >= cfg.RetryInterval {
+				lastTick = time.Now()
+				if !progress {
+					retries++
+					stats.Retries++
+					if retries > cfg.MaxRetries {
+						stats.Elapsed = time.Since(start)
+						return nil, stats, fmt.Errorf("rqudp: fetch stalled after %d retries", retries-1)
+					}
+					if dec == nil {
+						sendHello()
+					} else {
+						pull := wire.AppendPull(nil, wire.Pull{Flow: flow, Credits: uint16(cfg.PullBatch)})
+						for _, r := range remotes {
+							_, _ = conn.WriteTo(pull, r)
+						}
+					}
+				}
+				progress = false
+			}
+			continue
+		}
+		hdr, body, err := wire.ParseHeader(buf[:n])
+		if err != nil || hdr.Flow != flow {
+			continue
+		}
+		switch hdr.Type {
+		case wire.MsgAnnounce:
+			a, err := wire.ParseAnnounce(hdr.Flow, body)
+			if err != nil {
+				continue
+			}
+			if dec == nil {
+				layout, err := raptorq.NewBlockLayout(int64(a.ObjectSize), int(a.SymbolSize), int(a.MaxK))
+				if err != nil {
+					return nil, stats, fmt.Errorf("rqudp: bad announce: %w", err)
+				}
+				dec, err = raptorq.NewObjectDecoder(layout)
+				if err != nil {
+					return nil, stats, err
+				}
+			}
+		case wire.MsgData:
+			d, err := wire.ParseData(hdr.Flow, body)
+			if err != nil || dec == nil {
+				continue
+			}
+			fresh, err := dec.AddSymbol(int(d.SBN), d.ESI, d.Payload)
+			if err != nil {
+				continue // e.g. geometry mismatch; ignore packet
+			}
+			if fresh {
+				stats.Symbols++
+				if idx, ok := senderOf[from.String()]; ok {
+					stats.PerSender[idx]++
+				}
+			} else {
+				stats.Duplicates++
+			}
+			progress = progress || fresh
+			retries = 0
+			if dec.TryDecode() {
+				done := wire.AppendDone(nil, flow)
+				for _, r := range remotes {
+					_, _ = conn.WriteTo(done, r)
+				}
+				stats.Elapsed = time.Since(start)
+				obj, err := dec.Object()
+				return obj, stats, err
+			}
+			// Receiver-driven clocking: one pull per arrival, addressed
+			// to the sender that delivered (its path has capacity).
+			pull := wire.AppendPull(nil, wire.Pull{Flow: flow, Credits: 1})
+			_, _ = conn.WriteTo(pull, from)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package rqudp
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestFetchStatsUnicast(t *testing.T) {
+	obj := randObject(t, 200_000)
+	srv := startServer(t, obj, DefaultConfig())
+	conn := newUDP(t)
+	defer conn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, stats, err := FetchMultiSourceStats(ctx, conn, []net.Addr{srv.Addr()}, 11, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, obj) {
+		t.Fatal("object corrupted")
+	}
+	minSymbols := len(obj) / DefaultConfig().SymbolSize
+	if stats.Symbols < minSymbols {
+		t.Fatalf("stats report %d symbols, need at least %d", stats.Symbols, minSymbols)
+	}
+	if len(stats.PerSender) != 1 || stats.PerSender[0] != stats.Symbols {
+		t.Fatalf("per-sender accounting wrong: %+v", stats)
+	}
+	if stats.Elapsed <= 0 {
+		t.Fatal("elapsed not recorded")
+	}
+}
+
+func TestFetchStatsMultiSourceBalance(t *testing.T) {
+	obj := randObject(t, 400_000)
+	cfg := DefaultConfig()
+	srvs := []*Server{
+		startServer(t, obj, cfg),
+		startServer(t, obj, cfg),
+		startServer(t, obj, cfg),
+	}
+	remotes := []net.Addr{srvs[0].Addr(), srvs[1].Addr(), srvs[2].Addr()}
+	conn := newUDP(t)
+	defer conn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	got, stats, err := FetchMultiSourceStats(ctx, conn, remotes, 12, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, obj) {
+		t.Fatal("object corrupted")
+	}
+	total := 0
+	for i, n := range stats.PerSender {
+		if n == 0 {
+			t.Fatalf("sender %d contributed nothing: %+v", i, stats)
+		}
+		total += n
+	}
+	if total != stats.Symbols {
+		t.Fatalf("per-sender sum %d != symbols %d", total, stats.Symbols)
+	}
+	// On loopback all three paths are equal: contributions should be
+	// roughly balanced (each within a factor ~4 of fair share).
+	fair := stats.Symbols / 3
+	for i, n := range stats.PerSender {
+		if n < fair/4 {
+			t.Fatalf("sender %d contributed %d of fair share %d", i, n, fair)
+		}
+	}
+}
+
+func TestFetchStatsStallCounting(t *testing.T) {
+	conn := newUDP(t)
+	defer conn.Close()
+	dead, _ := net.ResolveUDPAddr("udp", "127.0.0.1:1")
+	cfg := DefaultConfig()
+	cfg.RetryInterval = 10 * time.Millisecond
+	cfg.MaxRetries = 2
+	_, stats, err := FetchMultiSourceStats(context.Background(), conn, []net.Addr{dead}, 13, cfg)
+	if err == nil {
+		t.Fatal("dead fetch succeeded")
+	}
+	if stats.Retries < 2 {
+		t.Fatalf("retries = %d, want >= 2", stats.Retries)
+	}
+	if stats.Symbols != 0 {
+		t.Fatalf("symbols = %d from a dead address", stats.Symbols)
+	}
+}

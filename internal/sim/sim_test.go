@@ -1,0 +1,163 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*time.Microsecond, func() { order = append(order, 3) })
+	e.At(10*time.Microsecond, func() { order = append(order, 1) })
+	e.At(20*time.Microsecond, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if e.Now() != 30*time.Microsecond {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestSimultaneousEventsAreFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Microsecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(5*time.Microsecond, func() {
+		e.After(7*time.Microsecond, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 12*time.Microsecond {
+		t.Fatalf("After fired at %v, want 12µs", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10*time.Microsecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(5*time.Microsecond, func() {})
+	})
+	e.Run()
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.At(time.Microsecond, func() { fired = true })
+	tm.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and post-run cancel are no-ops.
+	tm.Cancel()
+}
+
+func TestCancelOneOfMany(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(time.Microsecond, func() { order = append(order, 1) })
+	tm := e.At(2*time.Microsecond, func() { order = append(order, 2) })
+	e.At(3*time.Microsecond, func() { order = append(order, 3) })
+	tm.Cancel()
+	e.Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.At(10*time.Microsecond, func() { fired++ })
+	e.At(20*time.Microsecond, func() { fired++ })
+	e.At(30*time.Microsecond, func() { fired++ })
+	e.RunUntil(20 * time.Microsecond)
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+	if e.Now() != 20*time.Microsecond {
+		t.Fatalf("Now = %v, want 20µs", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if fired != 3 {
+		t.Fatalf("fired = %d after Run, want 3", fired)
+	}
+}
+
+func TestRunForAdvancesClockWithoutEvents(t *testing.T) {
+	e := NewEngine()
+	e.RunFor(time.Millisecond)
+	if e.Now() != time.Millisecond {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var recur func()
+	recur = func() {
+		count++
+		if count < 5 {
+			e.After(time.Microsecond, recur)
+		}
+	}
+	e.After(time.Microsecond, recur)
+	e.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Processed() != 5 {
+		t.Fatalf("Processed = %d, want 5", e.Processed())
+	}
+}
+
+func TestRNGDeterminismAndIndependence(t *testing.T) {
+	a1 := RNG(42, "arrivals")
+	a2 := RNG(42, "arrivals")
+	b := RNG(42, "ecmp")
+	c := RNG(43, "arrivals")
+	same, diffStream, diffSeed := 0, 0, 0
+	for i := 0; i < 100; i++ {
+		x := a1.Uint64()
+		if x == a2.Uint64() {
+			same++
+		}
+		if x == b.Uint64() {
+			diffStream++
+		}
+		if x == c.Uint64() {
+			diffSeed++
+		}
+	}
+	if same != 100 {
+		t.Fatal("same seed+stream must reproduce identical sequences")
+	}
+	if diffStream > 2 || diffSeed > 2 {
+		t.Fatal("different streams/seeds must be independent")
+	}
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if m := Mean([]float64{1, 2, 3, 4}); m != 2.5 {
+		t.Fatalf("Mean = %v", m)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev([]float64{5}) != 0 {
+		t.Fatal("single sample stddev must be 0")
+	}
+	// Known case: {2,4,4,4,5,5,7,9} has sample stddev ~2.138.
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2.13809) > 1e-4 {
+		t.Fatalf("StdDev = %v", got)
+	}
+}
+
+func TestCI95FiveSeeds(t *testing.T) {
+	// Five repetitions (the paper's setup): t(4df) = 2.776.
+	xs := []float64{1, 2, 3, 4, 5}
+	want := 2.776 * StdDev(xs) / math.Sqrt(5)
+	if got := CI95(xs); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+	if CI95([]float64{1}) != 0 {
+		t.Fatal("CI95 of one sample must be 0")
+	}
+}
+
+func TestCI95LargeN(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 10)
+	}
+	want := 1.960 * StdDev(xs) / 10
+	if got := CI95(xs); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CI95(large n) = %v, want %v", got, want)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Fatalf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("Percentile(nil) != 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestRankSeries(t *testing.T) {
+	got := RankSeries([]float64{0.3, 0.9, 0.5})
+	if got[0] != 0.9 || got[1] != 0.5 || got[2] != 0.3 {
+		t.Fatalf("RankSeries = %v", got)
+	}
+}
+
+func TestRankSeriesSortedDescendingQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i := range xs {
+			if math.IsNaN(xs[i]) {
+				xs[i] = 0
+			}
+		}
+		r := RankSeries(xs)
+		for i := 1; i < len(r); i++ {
+			if r[i] > r[i-1] {
+				return false
+			}
+		}
+		return len(r) == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	d := Downsample(xs, 10)
+	if len(d) != 10 {
+		t.Fatalf("len = %d", len(d))
+	}
+	if d[0] != 0 || d[9] != 99 {
+		t.Fatalf("endpoints = %v, %v", d[0], d[9])
+	}
+	if got := Downsample(xs, 200); len(got) != 100 {
+		t.Fatal("Downsample should not upsample")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := RenderTable("rank", []string{"0", "1"}, []Series{
+		{Name: "RQ", Points: []float64{0.95, 0.90}},
+		{Name: "TCP", Points: []float64{0.80}},
+	})
+	if !strings.Contains(out, "RQ") || !strings.Contains(out, "TCP") {
+		t.Fatalf("missing headers:\n%s", out)
+	}
+	if !strings.Contains(out, "0.9500") {
+		t.Fatalf("missing value:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing placeholder for short series:\n%s", out)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	out := RenderCSV("x", []string{"a", "b"}, []Series{{Name: "s", Points: []float64{1, 2}}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if lines[0] != "x,s" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "a,1.000000" {
+		t.Fatalf("row = %q", lines[1])
+	}
+}

@@ -1,0 +1,213 @@
+// Package wire defines the binary wire format of the real (UDP)
+// Polyraptor transport in internal/rqudp: a fixed 8-byte header
+// followed by a message-specific body, all big-endian. The format is
+// versioned and deliberately tiny — symbols are self-describing via
+// (SBN, ESI), which is all a rateless receiver needs.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Magic and Version guard against cross-protocol traffic.
+const (
+	Magic   = 0xA7
+	Version = 1
+)
+
+// MsgType enumerates protocol messages.
+type MsgType uint8
+
+const (
+	// MsgHello opens a session: receiver -> sender. It carries the
+	// receiver's position in a multi-source fetch so the sender can
+	// compute its symbol partition without coordination.
+	MsgHello MsgType = iota + 1
+	// MsgAnnounce answers a Hello with the object geometry.
+	MsgAnnounce
+	// MsgData carries one encoding symbol.
+	MsgData
+	// MsgPull requests more symbols (receiver -> sender).
+	MsgPull
+	// MsgDone tears the session down (receiver -> sender).
+	MsgDone
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgAnnounce:
+		return "announce"
+	case MsgData:
+		return "data"
+	case MsgPull:
+		return "pull"
+	case MsgDone:
+		return "done"
+	}
+	return fmt.Sprintf("unknown(%d)", uint8(t))
+}
+
+// Errors returned by parsers.
+var (
+	ErrTruncated  = errors.New("wire: truncated packet")
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrBadType    = errors.New("wire: unknown message type")
+)
+
+const headerLen = 8
+
+// Header is the fixed prefix of every packet.
+type Header struct {
+	Type MsgType
+	Flow uint32
+}
+
+// appendHeader writes the common prefix.
+func appendHeader(dst []byte, t MsgType, flow uint32) []byte {
+	dst = append(dst, Magic, Version, byte(t), 0)
+	return binary.BigEndian.AppendUint32(dst, flow)
+}
+
+// ParseHeader validates the prefix and returns the header and body.
+func ParseHeader(pkt []byte) (Header, []byte, error) {
+	if len(pkt) < headerLen {
+		return Header{}, nil, ErrTruncated
+	}
+	if pkt[0] != Magic {
+		return Header{}, nil, ErrBadMagic
+	}
+	if pkt[1] != Version {
+		return Header{}, nil, ErrBadVersion
+	}
+	t := MsgType(pkt[2])
+	if t < MsgHello || t > MsgDone {
+		return Header{}, nil, ErrBadType
+	}
+	return Header{Type: t, Flow: binary.BigEndian.Uint32(pkt[4:8])}, pkt[headerLen:], nil
+}
+
+// Hello opens a session.
+type Hello struct {
+	Flow        uint32
+	SenderIdx   uint8 // this sender's index in a multi-source fetch
+	SenderCount uint8 // total senders (1 for unicast)
+}
+
+// AppendHello marshals a Hello.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = appendHeader(dst, MsgHello, h.Flow)
+	return append(dst, h.SenderIdx, h.SenderCount)
+}
+
+// ParseHello unmarshals a Hello body.
+func ParseHello(flow uint32, body []byte) (Hello, error) {
+	if len(body) < 2 {
+		return Hello{}, ErrTruncated
+	}
+	h := Hello{Flow: flow, SenderIdx: body[0], SenderCount: body[1]}
+	if h.SenderCount == 0 || h.SenderIdx >= h.SenderCount {
+		return Hello{}, fmt.Errorf("wire: sender %d of %d invalid", h.SenderIdx, h.SenderCount)
+	}
+	return h, nil
+}
+
+// Announce carries the object geometry from sender to receiver.
+type Announce struct {
+	Flow       uint32
+	ObjectSize uint64
+	SymbolSize uint32
+	MaxK       uint32
+}
+
+// AppendAnnounce marshals an Announce.
+func AppendAnnounce(dst []byte, a Announce) []byte {
+	dst = appendHeader(dst, MsgAnnounce, a.Flow)
+	dst = binary.BigEndian.AppendUint64(dst, a.ObjectSize)
+	dst = binary.BigEndian.AppendUint32(dst, a.SymbolSize)
+	return binary.BigEndian.AppendUint32(dst, a.MaxK)
+}
+
+// ParseAnnounce unmarshals an Announce body.
+func ParseAnnounce(flow uint32, body []byte) (Announce, error) {
+	if len(body) < 16 {
+		return Announce{}, ErrTruncated
+	}
+	a := Announce{
+		Flow:       flow,
+		ObjectSize: binary.BigEndian.Uint64(body[0:8]),
+		SymbolSize: binary.BigEndian.Uint32(body[8:12]),
+		MaxK:       binary.BigEndian.Uint32(body[12:16]),
+	}
+	if a.ObjectSize == 0 || a.SymbolSize == 0 || a.MaxK == 0 {
+		return Announce{}, fmt.Errorf("wire: zero geometry in announce")
+	}
+	return a, nil
+}
+
+// Data carries one encoding symbol.
+type Data struct {
+	Flow    uint32
+	SBN     uint32
+	ESI     uint32
+	Payload []byte
+}
+
+// AppendData marshals a Data packet. The payload is copied into dst.
+func AppendData(dst []byte, d Data) []byte {
+	dst = appendHeader(dst, MsgData, d.Flow)
+	dst = binary.BigEndian.AppendUint32(dst, d.SBN)
+	dst = binary.BigEndian.AppendUint32(dst, d.ESI)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(d.Payload)))
+	return append(dst, d.Payload...)
+}
+
+// ParseData unmarshals a Data body. The payload aliases body.
+func ParseData(flow uint32, body []byte) (Data, error) {
+	if len(body) < 10 {
+		return Data{}, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint16(body[8:10]))
+	if len(body) < 10+n {
+		return Data{}, ErrTruncated
+	}
+	return Data{
+		Flow:    flow,
+		SBN:     binary.BigEndian.Uint32(body[0:4]),
+		ESI:     binary.BigEndian.Uint32(body[4:8]),
+		Payload: body[10 : 10+n],
+	}, nil
+}
+
+// Pull requests more symbols.
+type Pull struct {
+	Flow    uint32
+	Credits uint16 // number of fresh symbols requested
+}
+
+// AppendPull marshals a Pull.
+func AppendPull(dst []byte, p Pull) []byte {
+	dst = appendHeader(dst, MsgPull, p.Flow)
+	return binary.BigEndian.AppendUint16(dst, p.Credits)
+}
+
+// ParsePull unmarshals a Pull body.
+func ParsePull(flow uint32, body []byte) (Pull, error) {
+	if len(body) < 2 {
+		return Pull{}, ErrTruncated
+	}
+	p := Pull{Flow: flow, Credits: binary.BigEndian.Uint16(body[0:2])}
+	if p.Credits == 0 {
+		return Pull{}, fmt.Errorf("wire: pull with zero credits")
+	}
+	return p, nil
+}
+
+// AppendDone marshals a Done message (header only).
+func AppendDone(dst []byte, flow uint32) []byte {
+	return appendHeader(dst, MsgDone, flow)
+}

@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := Hello{Flow: 0xDEADBEEF, SenderIdx: 2, SenderCount: 5}
+	pkt := AppendHello(nil, h)
+	hdr, body, err := ParseHeader(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Type != MsgHello || hdr.Flow != h.Flow {
+		t.Fatalf("header = %+v", hdr)
+	}
+	got, err := ParseHello(hdr.Flow, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip: %+v != %+v", got, h)
+	}
+}
+
+func TestHelloValidation(t *testing.T) {
+	if _, err := ParseHello(1, []byte{0}); err != ErrTruncated {
+		t.Fatalf("short hello: %v", err)
+	}
+	if _, err := ParseHello(1, []byte{0, 0}); err == nil {
+		t.Fatal("zero sender count accepted")
+	}
+	if _, err := ParseHello(1, []byte{3, 3}); err == nil {
+		t.Fatal("senderIdx >= senderCount accepted")
+	}
+}
+
+func TestAnnounceRoundTrip(t *testing.T) {
+	a := Announce{Flow: 7, ObjectSize: 1 << 33, SymbolSize: 1024, MaxK: 256}
+	hdr, body, err := ParseHeader(AppendAnnounce(nil, a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseAnnounce(hdr.Flow, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a {
+		t.Fatalf("round trip: %+v != %+v", got, a)
+	}
+}
+
+func TestAnnounceValidation(t *testing.T) {
+	if _, err := ParseAnnounce(1, make([]byte, 15)); err != ErrTruncated {
+		t.Fatal("short announce accepted")
+	}
+	bad := AppendAnnounce(nil, Announce{Flow: 1, ObjectSize: 0, SymbolSize: 1, MaxK: 1})
+	_, body, _ := ParseHeader(bad)
+	if _, err := ParseAnnounce(1, body); err == nil {
+		t.Fatal("zero object size accepted")
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	d := Data{Flow: 9, SBN: 3, ESI: 77, Payload: []byte("symbol-bytes")}
+	hdr, body, err := ParseHeader(AppendData(nil, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseData(hdr.Flow, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SBN != d.SBN || got.ESI != d.ESI || !bytes.Equal(got.Payload, d.Payload) {
+		t.Fatalf("round trip: %+v != %+v", got, d)
+	}
+}
+
+func TestDataTruncatedPayload(t *testing.T) {
+	pkt := AppendData(nil, Data{Flow: 1, Payload: make([]byte, 100)})
+	_, body, _ := ParseHeader(pkt[:len(pkt)-1])
+	if _, err := ParseData(1, body); err != ErrTruncated {
+		t.Fatalf("truncated payload: %v", err)
+	}
+}
+
+func TestPullRoundTrip(t *testing.T) {
+	p := Pull{Flow: 4, Credits: 12}
+	hdr, body, err := ParseHeader(AppendPull(nil, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParsePull(hdr.Flow, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("round trip: %+v != %+v", got, p)
+	}
+	if _, err := ParsePull(1, []byte{0, 0}); err == nil {
+		t.Fatal("zero credits accepted")
+	}
+}
+
+func TestDoneRoundTrip(t *testing.T) {
+	hdr, body, err := ParseHeader(AppendDone(nil, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Type != MsgDone || hdr.Flow != 42 || len(body) != 0 {
+		t.Fatalf("done = %+v body=%d", hdr, len(body))
+	}
+}
+
+func TestParseHeaderRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 2, 3},
+		{0x00, Version, byte(MsgData), 0, 0, 0, 0, 1}, // bad magic
+		{Magic, 99, byte(MsgData), 0, 0, 0, 0, 1},     // bad version
+		{Magic, Version, 0, 0, 0, 0, 0, 1},            // type 0
+		{Magic, Version, 200, 0, 0, 0, 0, 1},          // type out of range
+	}
+	wants := []error{ErrTruncated, ErrTruncated, ErrBadMagic, ErrBadVersion, ErrBadType, ErrBadType}
+	for i, pkt := range cases {
+		if _, _, err := ParseHeader(pkt); err != wants[i] {
+			t.Fatalf("case %d: err = %v, want %v", i, err, wants[i])
+		}
+	}
+}
+
+func TestDataRoundTripQuick(t *testing.T) {
+	f := func(flow, sbn, esi uint32, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		d := Data{Flow: flow, SBN: sbn, ESI: esi, Payload: payload}
+		hdr, body, err := ParseHeader(AppendData(nil, d))
+		if err != nil || hdr.Flow != flow {
+			return false
+		}
+		got, err := ParseData(flow, body)
+		if err != nil {
+			return false
+		}
+		return got.SBN == sbn && got.ESI == esi && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAppendReusesBuffer(t *testing.T) {
+	buf := make([]byte, 0, 128)
+	out := AppendPull(buf, Pull{Flow: 1, Credits: 1})
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("AppendPull reallocated despite capacity")
+	}
+}

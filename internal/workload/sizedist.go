@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SizeDist is an empirical flow-size distribution sampled by inverse
+// CDF with log-linear interpolation between knots. The paper lists
+// "evaluating Polyraptor's behaviour under different workloads" as
+// current work; these distributions drive that extension experiment
+// (harness.RunFlowSizeExperiment).
+type SizeDist struct {
+	// Name labels result tables.
+	Name string
+	// knots are (bytes, cumulative probability) pairs, sorted by
+	// probability, ending at probability 1.
+	knots []cdfKnot
+}
+
+type cdfKnot struct {
+	bytes float64
+	cum   float64
+}
+
+// NewSizeDist builds a distribution from (bytes, cumulativeProb)
+// knots. Knots are sorted; the last must have cumulative probability
+// 1. Panics on malformed input (distributions are program constants).
+func NewSizeDist(name string, knots map[int64]float64) SizeDist {
+	d := SizeDist{Name: name}
+	for b, c := range knots {
+		if b < 1 || c <= 0 || c > 1 {
+			panic("workload: malformed size distribution knot")
+		}
+		d.knots = append(d.knots, cdfKnot{bytes: float64(b), cum: c})
+	}
+	sort.Slice(d.knots, func(i, j int) bool { return d.knots[i].cum < d.knots[j].cum })
+	if len(d.knots) == 0 || d.knots[len(d.knots)-1].cum != 1 {
+		panic("workload: size distribution must end at cumulative probability 1")
+	}
+	for i := 1; i < len(d.knots); i++ {
+		if d.knots[i].bytes < d.knots[i-1].bytes {
+			panic("workload: size distribution CDF must be monotone in bytes")
+		}
+	}
+	return d
+}
+
+// Sample draws one flow size.
+func (d SizeDist) Sample(rng *rand.Rand) int64 {
+	u := rng.Float64()
+	prev := cdfKnot{bytes: 1, cum: 0}
+	for _, k := range d.knots {
+		if u <= k.cum {
+			// Log-linear interpolation between prev and k: flow sizes
+			// span decades, so interpolating in log-space avoids
+			// overweighting the upper end of each segment.
+			frac := (u - prev.cum) / (k.cum - prev.cum)
+			lo, hi := math.Log(prev.bytes), math.Log(k.bytes)
+			return int64(math.Exp(lo + frac*(hi-lo)))
+		}
+		prev = k
+	}
+	return int64(d.knots[len(d.knots)-1].bytes)
+}
+
+// Mean estimates the distribution mean by quadrature over the CDF.
+func (d SizeDist) Mean() float64 {
+	var mean float64
+	prev := cdfKnot{bytes: 1, cum: 0}
+	for _, k := range d.knots {
+		// Log-space mid-point of the segment, weighted by its mass.
+		mid := math.Exp((math.Log(prev.bytes) + math.Log(k.bytes)) / 2)
+		mean += mid * (k.cum - prev.cum)
+		prev = k
+	}
+	return mean
+}
+
+// WebSearchDist approximates the web-search workload popularised by
+// the DCTCP paper: mostly sub-100 KB query/response traffic with a
+// background of multi-megabyte updates. (Knot values approximate the
+// published CDF; the extension experiment only needs the qualitative
+// small-flow-dominated shape.)
+func WebSearchDist() SizeDist {
+	return NewSizeDist("web-search", map[int64]float64{
+		6 << 10:   0.15,
+		13 << 10:  0.25,
+		19 << 10:  0.35,
+		33 << 10:  0.45,
+		53 << 10:  0.55,
+		133 << 10: 0.65,
+		667 << 10: 0.75,
+		1 << 20:   0.80,
+		2 << 20:   0.85,
+		7 << 20:   0.92,
+		20 << 20:  0.98,
+		30 << 20:  1.00,
+	})
+}
+
+// DataMiningDist approximates the data-mining workload of the VL2
+// paper: ~80% of flows under 100 KB but virtually all bytes in
+// multi-megabyte elephants.
+func DataMiningDist() SizeDist {
+	return NewSizeDist("data-mining", map[int64]float64{
+		1 << 10:   0.45,
+		10 << 10:  0.63,
+		100 << 10: 0.80,
+		1 << 20:   0.85,
+		10 << 20:  0.92,
+		100 << 20: 0.98,
+		256 << 20: 1.00,
+	})
+}

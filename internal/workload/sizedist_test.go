@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSizeDistValidation(t *testing.T) {
+	assertPanics := func(name string, knots map[int64]float64) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		NewSizeDist(name, knots)
+	}
+	assertPanics("empty", map[int64]float64{})
+	assertPanics("no-unit-cum", map[int64]float64{100: 0.5})
+	assertPanics("zero-bytes", map[int64]float64{0: 1.0})
+	assertPanics("cum>1", map[int64]float64{100: 1.5})
+	assertPanics("non-monotone", map[int64]float64{1000: 0.5, 10: 1.0})
+}
+
+func TestSizeDistSampleWithinSupport(t *testing.T) {
+	d := NewSizeDist("test", map[int64]float64{
+		1 << 10: 0.5,
+		1 << 20: 1.0,
+	})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := d.Sample(rng)
+		if v < 1 || v > 1<<20 {
+			t.Fatalf("sample %d outside support", v)
+		}
+	}
+}
+
+func TestSizeDistRespectsMasses(t *testing.T) {
+	d := NewSizeDist("test", map[int64]float64{
+		1 << 10: 0.5,
+		1 << 20: 1.0,
+	})
+	rng := rand.New(rand.NewSource(2))
+	small := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if d.Sample(rng) <= 1<<10 {
+			small++
+		}
+	}
+	frac := float64(small) / n
+	if frac < 0.47 || frac > 0.53 {
+		t.Fatalf("mass below first knot = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestSizeDistDeterministicPerSeed(t *testing.T) {
+	d := WebSearchDist()
+	a := rand.New(rand.NewSource(7))
+	b := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		if d.Sample(a) != d.Sample(b) {
+			t.Fatal("same seed produced different samples")
+		}
+	}
+}
+
+func TestSizeDistSamplePositiveQuick(t *testing.T) {
+	d := DataMiningDist()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 20; i++ {
+			if d.Sample(rng) < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuiltinDistShapes(t *testing.T) {
+	// Web-search: mean in the hundreds of KB to few MB (heavy-tailed).
+	ws := WebSearchDist().Mean()
+	if ws < 100<<10 || ws > 10<<20 {
+		t.Fatalf("web-search mean = %.0f bytes", ws)
+	}
+	// Data-mining is more extreme: mean dominated by elephants.
+	dm := DataMiningDist().Mean()
+	if dm < ws {
+		t.Fatalf("data-mining mean (%.0f) should exceed web-search (%.0f)", dm, ws)
+	}
+}
+
+func TestGenerateWithSizeDist(t *testing.T) {
+	ftLike := fixedRacks{n: 16}
+	cfg := DefaultConfig()
+	cfg.Sessions = 300
+	dist := WebSearchDist()
+	cfg.Sizes = &dist
+	cfg.BackgroundFrac = 0.2
+	sessions := Generate(cfg, ftLike)
+	varied := map[int64]bool{}
+	for _, s := range sessions {
+		if s.Kind == Foreground {
+			varied[s.Bytes] = true
+			if s.Bytes < 1 {
+				t.Fatal("non-positive foreground size")
+			}
+		} else if s.Bytes != cfg.BackgroundBytes {
+			t.Fatal("background size must stay fixed")
+		}
+	}
+	if len(varied) < 50 {
+		t.Fatalf("only %d distinct foreground sizes; distribution not applied", len(varied))
+	}
+}
+
+// fixedRacks is a minimal RackView for tests that don't need a fabric.
+type fixedRacks struct{ n int }
+
+func (f fixedRacks) NumHosts() int          { return f.n }
+func (f fixedRacks) SameRack(a, b int) bool { return a/2 == b/2 }

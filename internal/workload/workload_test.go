@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"polyraptor/internal/netsim"
+	"polyraptor/internal/topology"
+)
+
+func testRacks(t *testing.T) *topology.FatTree {
+	t.Helper()
+	ft, err := topology.NewFatTree(4, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft
+}
+
+func smallCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Sessions = 500
+	return cfg
+}
+
+func TestGenerateCountAndOrder(t *testing.T) {
+	ft := testRacks(t)
+	ss := Generate(smallCfg(), ft)
+	if len(ss) != 500 {
+		t.Fatalf("sessions = %d", len(ss))
+	}
+	for i := 1; i < len(ss); i++ {
+		if ss[i].Start < ss[i-1].Start {
+			t.Fatal("arrival times not monotone")
+		}
+		if ss[i].ID != i {
+			t.Fatal("IDs not dense")
+		}
+	}
+}
+
+func TestPoissonRateRoughlyLambda(t *testing.T) {
+	ft := testRacks(t)
+	cfg := smallCfg()
+	cfg.Sessions = 5000
+	ss := Generate(cfg, ft)
+	span := (ss[len(ss)-1].Start - ss[0].Start).Seconds()
+	rate := float64(len(ss)-1) / span
+	if math.Abs(rate-cfg.Lambda)/cfg.Lambda > 0.10 {
+		t.Fatalf("observed rate %.0f/s, want ~%.0f/s", rate, cfg.Lambda)
+	}
+}
+
+func TestBackgroundFraction(t *testing.T) {
+	ft := testRacks(t)
+	cfg := smallCfg()
+	cfg.Sessions = 4000
+	ss := Generate(cfg, ft)
+	bg := 0
+	for _, s := range ss {
+		if s.Kind == Background {
+			bg++
+		}
+	}
+	frac := float64(bg) / float64(len(ss))
+	if frac < 0.15 || frac > 0.25 {
+		t.Fatalf("background fraction = %.3f, want ~0.20", frac)
+	}
+}
+
+func TestReplicasOutsideRackAndDistinct(t *testing.T) {
+	ft := testRacks(t)
+	cfg := smallCfg()
+	cfg.Replicas = 3
+	for _, s := range Generate(cfg, ft) {
+		if s.Kind == Background {
+			if len(s.Peers) != 1 {
+				t.Fatalf("background session with %d peers", len(s.Peers))
+			}
+			continue
+		}
+		if len(s.Peers) != 3 {
+			t.Fatalf("foreground session with %d peers", len(s.Peers))
+		}
+		seen := map[int]bool{}
+		for _, p := range s.Peers {
+			if p == s.Client {
+				t.Fatal("peer equals client")
+			}
+			if ft.SameRack(s.Client, p) {
+				t.Fatalf("peer %d in client %d's rack", p, s.Client)
+			}
+			if seen[p] {
+				t.Fatal("duplicate peer in session")
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestPermutationSpreadsClients(t *testing.T) {
+	ft := testRacks(t)
+	cfg := smallCfg()
+	cfg.Sessions = ft.NumHosts() * 4
+	counts := map[int]int{}
+	for _, s := range Generate(cfg, ft) {
+		counts[s.Client]++
+	}
+	// Permutation traffic matrix: after 4 full rounds every host has
+	// been a client exactly 4 times.
+	for h := 0; h < ft.NumHosts(); h++ {
+		if counts[h] != 4 {
+			t.Fatalf("host %d was client %d times, want 4", h, counts[h])
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	ft := testRacks(t)
+	a := Generate(smallCfg(), ft)
+	b := Generate(smallCfg(), ft)
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i].Start != b[i].Start || a[i].Client != b[i].Client || a[i].Kind != b[i].Kind {
+			t.Fatalf("session %d differs across identical seeds", i)
+		}
+	}
+	cfg2 := smallCfg()
+	cfg2.Seed = 99
+	c := Generate(cfg2, ft)
+	same := 0
+	for i := range a {
+		if a[i].Client == c[i].Client {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateIncast(t *testing.T) {
+	ft := testRacks(t)
+	ic := GenerateIncast(IncastConfig{Senders: 8, BytesPerSender: 70 << 10, Seed: 3}, ft)
+	if len(ic.Senders) != 8 {
+		t.Fatalf("senders = %d", len(ic.Senders))
+	}
+	seen := map[int]bool{}
+	for _, s := range ic.Senders {
+		if s == ic.Client || ft.SameRack(ic.Client, s) || seen[s] {
+			t.Fatalf("bad sender %d (client %d)", s, ic.Client)
+		}
+		seen[s] = true
+	}
+	if ic.Bytes != 70<<10 {
+		t.Fatalf("bytes = %d", ic.Bytes)
+	}
+}
+
+func TestGenerateIncastDeterministic(t *testing.T) {
+	ft := testRacks(t)
+	a := GenerateIncast(IncastConfig{Senders: 4, BytesPerSender: 1, Seed: 7}, ft)
+	b := GenerateIncast(IncastConfig{Senders: 4, BytesPerSender: 1, Seed: 7}, ft)
+	if a.Client != b.Client {
+		t.Fatal("incast not deterministic")
+	}
+}

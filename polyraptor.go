@@ -1,0 +1,166 @@
+// Package polyraptor is the public API of the Polyraptor
+// reproduction: a RaptorQ-coded, receiver-driven data transport for
+// one-to-many and many-to-one transfer patterns (Alasmar, Parisis,
+// Crowcroft — SIGCOMM 2018), together with the packet-level simulation
+// stack that regenerates the paper's evaluation.
+//
+// Three layers are exposed:
+//
+//   - The systematic rateless codec (EncodeObject / NewObjectDecoder):
+//     RFC 6330-architecture RaptorQ — LDPC+HDPC precode, LT encoding
+//     with permanently-inactive symbols, inactivation decoding.
+//   - The real UDP transport (NewServer / Fetch / FetchMultiSource):
+//     the paper's pull-based protocol over any net.PacketConn, running
+//     the real codec end to end.
+//   - The evaluation harness (Figure1a / Figure1b / Figure1c and the
+//     Ablation* helpers): discrete-event simulations on a k-ary
+//     FatTree with NDP trimming switches that regenerate every figure
+//     of the paper.
+//
+// See README.md for a tour and EXPERIMENTS.md for paper-vs-measured
+// results.
+package polyraptor
+
+import (
+	"context"
+	"net"
+
+	"polyraptor/internal/harness"
+	"polyraptor/internal/raptorq"
+	"polyraptor/internal/rqudp"
+)
+
+// Codec types, re-exported from the internal implementation.
+type (
+	// ObjectEncoder encodes an object into (SBN, ESI)-addressed
+	// encoding symbols; systematic and rateless.
+	ObjectEncoder = raptorq.ObjectEncoder
+	// ObjectDecoder reconstructs an object from any sufficiently large
+	// symbol set.
+	ObjectDecoder = raptorq.ObjectDecoder
+	// BlockLayout describes an object's source-block partitioning.
+	BlockLayout = raptorq.BlockLayout
+	// CodeParams holds per-block code parameters (K, S, H, L, W, P).
+	CodeParams = raptorq.Params
+)
+
+// Codec errors.
+var (
+	// ErrNeedMoreSymbols: fewer than K symbols held for some block.
+	ErrNeedMoreSymbols = raptorq.ErrNeedMoreSymbols
+	// ErrSingular: held symbols do not determine the block; add more.
+	ErrSingular = raptorq.ErrSingular
+)
+
+// EncodeObject partitions data into blocks of at most maxBlockK
+// symbols of symbolSize bytes and precodes each block. The returned
+// encoder generates any encoding symbol on demand:
+//
+//	enc, _ := polyraptor.EncodeObject(data, 1024, 256)
+//	sym := enc.Symbol(0, 5) // source symbol 5 of block 0
+//	rep := enc.Symbol(0, uint32(enc.Layout().K[0])) // first repair
+func EncodeObject(data []byte, symbolSize, maxBlockK int) (*ObjectEncoder, error) {
+	return raptorq.NewObjectEncoder(data, symbolSize, maxBlockK)
+}
+
+// NewObjectDecoder creates a decoder for an object with the given
+// layout (obtained from the encoder or a wire announcement).
+func NewObjectDecoder(layout BlockLayout) (*ObjectDecoder, error) {
+	return raptorq.NewObjectDecoder(layout)
+}
+
+// NewBlockLayout computes the block partitioning for an object of
+// size f.
+func NewBlockLayout(f int64, symbolSize, maxBlockK int) (BlockLayout, error) {
+	return raptorq.NewBlockLayout(f, symbolSize, maxBlockK)
+}
+
+// DecodeFailureProb returns the modelled probability that a block
+// fails to decode from K+overhead distinct symbols (~1e-2 at zero
+// overhead, two decades per extra symbol).
+func DecodeFailureProb(overhead int) float64 {
+	return raptorq.DecodeFailureProb(overhead)
+}
+
+// Transport types, re-exported.
+type (
+	// Server serves one object to any number of pull-driven receivers
+	// over a net.PacketConn.
+	Server = rqudp.Server
+	// TransportConfig tunes the UDP transport.
+	TransportConfig = rqudp.Config
+	// FetchStats reports symbols, duplicates, per-sender contributions
+	// and retries for one fetch.
+	FetchStats = rqudp.FetchStats
+)
+
+// DefaultTransportConfig returns LAN-appropriate transport defaults.
+func DefaultTransportConfig() TransportConfig { return rqudp.DefaultConfig() }
+
+// NewServer builds a server for one object. Run Serve in a goroutine
+// and Close to stop:
+//
+//	conn, _ := net.ListenPacket("udp", ":9000")
+//	srv, _ := polyraptor.NewServer(conn, blob, polyraptor.DefaultTransportConfig())
+//	go srv.Serve()
+func NewServer(conn net.PacketConn, object []byte, cfg TransportConfig) (*Server, error) {
+	return rqudp.NewServer(conn, object, cfg)
+}
+
+// Fetch retrieves the object served at remote (unicast).
+func Fetch(ctx context.Context, conn net.PacketConn, remote net.Addr, flow uint32, cfg TransportConfig) ([]byte, error) {
+	return rqudp.Fetch(ctx, conn, remote, flow, cfg)
+}
+
+// FetchMultiSource retrieves one object replicated at every remote,
+// pulling from all of them without sender coordination.
+func FetchMultiSource(ctx context.Context, conn net.PacketConn, remotes []net.Addr, flow uint32, cfg TransportConfig) ([]byte, error) {
+	return rqudp.FetchMultiSource(ctx, conn, remotes, flow, cfg)
+}
+
+// FetchMultiSourceStats is FetchMultiSource returning per-transfer
+// statistics (symbol counts, per-sender contributions, retries).
+func FetchMultiSourceStats(ctx context.Context, conn net.PacketConn, remotes []net.Addr, flow uint32, cfg TransportConfig) ([]byte, FetchStats, error) {
+	return rqudp.FetchMultiSourceStats(ctx, conn, remotes, flow, cfg)
+}
+
+// Evaluation harness re-exports.
+type (
+	// SimScale sizes a Figure 1a/1b run (fabric arity, sessions, flow
+	// size, load).
+	SimScale = harness.Scale
+	// FigureSeries is one labelled curve of a regenerated figure.
+	FigureSeries = harness.FigureSeries
+	// IncastOptions sizes a Figure 1c run.
+	IncastOptions = harness.IncastOptions
+)
+
+// PaperScale reproduces the figure captions exactly (250-host
+// fat-tree, 10,000 x 4 MB sessions) — minutes of CPU.
+func PaperScale() SimScale { return harness.PaperScale() }
+
+// BenchScale is a load-preserving scaled-down configuration.
+func BenchScale() SimScale { return harness.BenchScale() }
+
+// Figure1a regenerates the paper's Figure 1a (multicast replication:
+// rank-ordered session goodput, 1/3 replicas, RQ vs TCP).
+func Figure1a(sc SimScale, maxPoints int) []FigureSeries {
+	return harness.Figure1a(sc, maxPoints)
+}
+
+// Figure1b regenerates Figure 1b (multi-source fetch).
+func Figure1b(sc SimScale, maxPoints int) []FigureSeries {
+	return harness.Figure1b(sc, maxPoints)
+}
+
+// Figure1c regenerates Figure 1c (incast: goodput vs sender count
+// with 95% CIs).
+func Figure1c(opt IncastOptions) []FigureSeries {
+	return harness.Figure1c(opt)
+}
+
+// DefaultIncastOptions mirrors the paper's Figure 1c setup.
+func DefaultIncastOptions() IncastOptions { return harness.DefaultIncastOptions() }
+
+// BenchIncastOptions is a fast Figure 1c configuration.
+func BenchIncastOptions() IncastOptions { return harness.BenchIncastOptions() }
