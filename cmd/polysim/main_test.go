@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+
+	"polyraptor/internal/netsim"
+	"polyraptor/internal/tcpsim"
+	"polyraptor/internal/topology"
+)
+
+// TestPickInvariants checks the peer picker: n distinct hosts, none in
+// the client's rack, never the client itself.
+func TestPickInvariants(t *testing.T) {
+	ft, err := topology.NewFatTree(4, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		got := pick(ft, 0, seed, 4)
+		if len(got) != 4 {
+			t.Fatalf("seed %d: got %d peers, want 4", seed, len(got))
+		}
+		seen := map[int]bool{}
+		for _, p := range got {
+			if p == 0 || ft.SameRack(0, p) {
+				t.Fatalf("seed %d: peer %d is the client or shares its rack", seed, p)
+			}
+			if seen[p] {
+				t.Fatalf("seed %d: duplicate peer %d", seed, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestRunSmoke exercises the RQ and TCP scenario paths end to end on a
+// small fabric (output goes to stdout, as in normal CLI use).
+func TestRunSmoke(t *testing.T) {
+	mkTree := func(trim bool) *topology.FatTree {
+		cfg := netsim.DefaultConfig()
+		cfg.Trimming = trim
+		ft, err := topology.NewFatTree(4, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ft
+	}
+	runRQ(mkTree(true), "multisource", 64<<10, 3, 0, 1, false)
+	runRQ(mkTree(true), "incast", 32<<10, 0, 4, 1, false)
+	runTCP(mkTree(false), "multicast", 64<<10, 3, 0, 1, tcpsim.DefaultConfig())
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"polyraptor/internal/store"
+)
+
+// TestRunSmoke drives the whole CLI in-process on a tiny cluster.
+func TestRunSmoke(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-k", "4", "-objects", "16", "-bytes", "65536", "-requests", "40",
+		"-backend", "rq,tcp", "-fail", "rack",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errw.String())
+	}
+	s := out.String()
+	for _, want := range []string{"PolyStore cluster", "polyraptor", "tcp", "recovery", "full replication true"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-k", "4", "-objects", "8", "-bytes", "65536", "-requests", "20",
+		"-backend", "rq", "-fail", "none", "-csv",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errw.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV should have header + 1 row, got %d lines:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[1], "polyraptor,") {
+		t.Fatalf("CSV row %q", lines[1])
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-fail", "meteor"},
+		{"-backend", "quic"},
+		{"-backend", ","},
+		{"-nope"},
+	} {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code == 0 {
+			t.Fatalf("run(%v) succeeded, want failure", args)
+		}
+	}
+}
+
+func TestParseBackends(t *testing.T) {
+	all, err := parseBackends("all")
+	if err != nil || len(all) != 3 {
+		t.Fatalf("parseBackends(all) = %v, %v", all, err)
+	}
+	got, err := parseBackends("rq, dctcp")
+	if err != nil || len(got) != 2 || got[0] != store.BackendPolyraptor || got[1] != store.BackendDCTCP {
+		t.Fatalf("parseBackends(rq, dctcp) = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,3 @@
+module polyraptor
+
+go 1.24

@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"fmt"
+
+	"polyraptor/internal/stats"
+	"polyraptor/internal/store"
+)
+
+// StorageOptions parametrises the storage-cluster experiment: one
+// store.Config template run once per backend on its own fabric, so the
+// transports see an identical request schedule.
+type StorageOptions struct {
+	// Cluster is the store configuration; its Backend field is
+	// overridden per run.
+	Cluster store.Config
+	// Backends are the transports to compare.
+	Backends []store.BackendKind
+}
+
+// DefaultStorageOptions compares Polyraptor against both baselines on
+// the default medium cluster.
+func DefaultStorageOptions() StorageOptions {
+	return StorageOptions{
+		Cluster:  store.DefaultConfig(),
+		Backends: []store.BackendKind{store.BackendPolyraptor, store.BackendTCP, store.BackendDCTCP},
+	}
+}
+
+// ShortStorageOptions is sized for go test -short: a k=4 fabric,
+// Polyraptor versus TCP.
+func ShortStorageOptions() StorageOptions {
+	return StorageOptions{
+		Cluster:  store.ShortConfig(),
+		Backends: []store.BackendKind{store.BackendPolyraptor, store.BackendTCP},
+	}
+}
+
+// StorageRun is one backend's reduced measurements.
+type StorageRun struct {
+	// Backend names the transport.
+	Backend string
+	// GetFCT and PutFCT summarise foreground completion times in
+	// seconds; GetGoodput and PutGoodput summarise per-request goodput
+	// in Gbps.
+	GetFCT, PutFCT         stats.Summary
+	GetGoodput, PutGoodput stats.Summary
+	// GetFCTBefore summarises GETs that completed before the failure;
+	// GetFCTDuring those issued while the re-replication storm ran
+	// (detection to last repair). The storm's interference is the gap
+	// between them.
+	GetFCTBefore, GetFCTDuring stats.Summary
+	// Result is the raw run output for callers that need more.
+	Result *store.Result
+}
+
+// Interference returns the ratio of mean GET latency during recovery
+// to the pre-failure baseline — how hard the re-replication storm hit
+// foreground reads. ok is false when either window holds no GETs, in
+// which case the ratio is unmeasured.
+func (r StorageRun) Interference() (ratio float64, ok bool) {
+	if r.GetFCTDuring.N == 0 || r.GetFCTBefore.Mean <= 0 {
+		return 0, false
+	}
+	return r.GetFCTDuring.Mean / r.GetFCTBefore.Mean, true
+}
+
+// RunStorageCluster runs the cluster once per backend and reduces each
+// run to FCT and goodput summaries. It is the experiment the PolyStore
+// subsystem exists for: Polyraptor's one-to-many PUTs and many-to-one
+// GETs against TCP/DCTCP emulation on the same storage workload.
+func RunStorageCluster(opt StorageOptions) ([]StorageRun, error) {
+	if len(opt.Backends) == 0 {
+		return nil, fmt.Errorf("harness: no backends selected")
+	}
+	out := make([]StorageRun, 0, len(opt.Backends))
+	for _, be := range opt.Backends {
+		cfg := opt.Cluster
+		cfg.Backend = be
+		res, err := store.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: storage backend %v: %w", be, err)
+		}
+		out = append(out, StorageRun{
+			Backend:      be.String(),
+			GetFCT:       stats.Summarize(res.GetFCTs()),
+			PutFCT:       stats.Summarize(res.PutFCTs()),
+			GetGoodput:   stats.Summarize(res.GetGoodputs()),
+			PutGoodput:   stats.Summarize(res.PutGoodputs()),
+			GetFCTBefore: stats.Summarize(store.FCTs(res.GetsBeforeFailure())),
+			GetFCTDuring: stats.Summarize(store.FCTs(res.GetsDuringRecovery())),
+			Result:       res,
+		})
+	}
+	return out, nil
+}

@@ -73,6 +73,39 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return percentileSorted(s, p)
+}
+
+// Summary condenses a sample into the headline numbers storage
+// evaluations report: mean and tail percentiles. The zero value is the
+// summary of an empty sample.
+type Summary struct {
+	N                  int
+	Mean               float64
+	Min, P50, P95, P99 float64
+	Max                float64
+}
+
+// Summarize computes a Summary in one pass over a sorted copy.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Summary{
+		N:    len(s),
+		Mean: Mean(s),
+		Min:  s[0],
+		P50:  percentileSorted(s, 50),
+		P95:  percentileSorted(s, 95),
+		P99:  percentileSorted(s, 99),
+		Max:  s[len(s)-1],
+	}
+}
+
+// percentileSorted is Percentile for an already-sorted sample.
+func percentileSorted(s []float64, p float64) float64 {
 	if p <= 0 {
 		return s[0]
 	}

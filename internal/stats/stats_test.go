@@ -146,3 +146,26 @@ func TestRenderCSV(t *testing.T) {
 		t.Fatalf("row = %q", lines[1])
 	}
 }
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	s := Summarize(xs)
+	if s.N != 100 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Mean != 50.5 {
+		t.Fatalf("mean = %g", s.Mean)
+	}
+	if s.P50 != Percentile(xs, 50) || s.P95 != Percentile(xs, 95) || s.P99 != Percentile(xs, 99) {
+		t.Fatalf("percentiles disagree with Percentile(): %+v", s)
+	}
+	if !(s.P50 < s.P95 && s.P95 < s.P99) {
+		t.Fatalf("percentiles not ordered: %+v", s)
+	}
+}

@@ -1,0 +1,161 @@
+package store
+
+import (
+	"polyraptor/internal/netsim"
+	"polyraptor/internal/polyraptor"
+	"polyraptor/internal/tcpsim"
+	"polyraptor/internal/topology"
+)
+
+// BackendKind selects the transport under the store.
+type BackendKind int
+
+const (
+	// BackendPolyraptor maps PUTs to one-to-many multicast and GETs to
+	// many-to-one multi-source fetches over NDP trimming switches.
+	BackendPolyraptor BackendKind = iota
+	// BackendTCP is the paper's baseline: PUTs multi-unicast R full
+	// copies, GETs fetch uncoordinated 1/R shares, over drop-tail.
+	BackendTCP
+	// BackendDCTCP is BackendTCP with DCTCP congestion control and
+	// ECN-marking switches.
+	BackendDCTCP
+)
+
+// String returns the CLI/report name of the backend.
+func (k BackendKind) String() string {
+	switch k {
+	case BackendPolyraptor:
+		return "polyraptor"
+	case BackendTCP:
+		return "tcp"
+	case BackendDCTCP:
+		return "dctcp"
+	}
+	return "unknown"
+}
+
+// ParseBackend maps a CLI name to a BackendKind.
+func ParseBackend(name string) (BackendKind, bool) {
+	switch name {
+	case "polyraptor", "rq":
+		return BackendPolyraptor, true
+	case "tcp":
+		return BackendTCP, true
+	case "dctcp":
+		return BackendDCTCP, true
+	}
+	return 0, false
+}
+
+// NetConfig returns the switch configuration each backend assumes:
+// trimming for Polyraptor, plain drop-tail for TCP, ECN-marking
+// drop-tail for DCTCP.
+func (k BackendKind) NetConfig(seed int64) netsim.Config {
+	cfg := netsim.DefaultConfig()
+	cfg.Seed = seed
+	switch k {
+	case BackendTCP:
+		cfg.Trimming = false
+	case BackendDCTCP:
+		cfg.Trimming = false
+		cfg.ECNThreshold = 20
+	}
+	return cfg
+}
+
+// backend abstracts the two transfer patterns the store issues. done
+// fires once per call, when the last replica/share completes.
+type backend interface {
+	// Write pushes one full object from src to every dst.
+	Write(src int, dsts []int, bytes int64, done func())
+	// Read assembles one full object at dst from srcs, each of which
+	// holds a complete copy.
+	Read(dst int, srcs []int, bytes int64, done func())
+}
+
+// newBackend builds the transport systems on an existing fabric.
+func newBackend(kind BackendKind, ft *topology.FatTree, seed int64) backend {
+	switch kind {
+	case BackendPolyraptor:
+		sys := polyraptor.NewSystem(ft.Net, polyraptor.DefaultConfig(), seed)
+		sys.PruneGroup = ft.PruneMulticastLeaf
+		return &polyBackend{ft: ft, sys: sys}
+	case BackendTCP:
+		return &tcpBackend{sys: tcpsim.NewSystem(ft.Net, tcpsim.DefaultConfig())}
+	case BackendDCTCP:
+		return &tcpBackend{sys: tcpsim.NewSystem(ft.Net, tcpsim.DCTCPConfig())}
+	}
+	panic("store: unknown backend kind")
+}
+
+// polyBackend drives polyraptor.System.
+type polyBackend struct {
+	ft  *topology.FatTree
+	sys *polyraptor.System
+}
+
+func (b *polyBackend) Write(src int, dsts []int, bytes int64, done func()) {
+	if len(dsts) == 1 {
+		b.sys.StartUnicast(src, dsts[0], bytes, func(polyraptor.CompletionEvent) {
+			if done != nil {
+				done()
+			}
+		})
+		return
+	}
+	g := b.ft.InstallMulticastGroup(src, dsts)
+	remaining := len(dsts)
+	b.sys.StartMulticast(src, dsts, g, bytes, func(polyraptor.CompletionEvent) {
+		remaining--
+		if remaining == 0 {
+			b.ft.RemoveMulticastGroup(g)
+			if done != nil {
+				done()
+			}
+		}
+	})
+}
+
+func (b *polyBackend) Read(dst int, srcs []int, bytes int64, done func()) {
+	b.sys.StartMultiSource(srcs, dst, bytes, func(polyraptor.CompletionEvent) {
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// tcpBackend drives tcpsim.System with the paper's pattern emulation.
+type tcpBackend struct {
+	sys *tcpsim.System
+}
+
+func (b *tcpBackend) Write(src int, dsts []int, bytes int64, done func()) {
+	remaining := len(dsts)
+	for _, d := range dsts {
+		b.sys.StartFlow(src, d, bytes, func(tcpsim.FlowResult) {
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+		})
+	}
+}
+
+func (b *tcpBackend) Read(dst int, srcs []int, bytes int64, done func()) {
+	n := int64(len(srcs))
+	share := bytes / n
+	remaining := len(srcs)
+	for i, s := range srcs {
+		sz := share
+		if i == len(srcs)-1 {
+			sz = bytes - share*(n-1)
+		}
+		b.sys.StartFlow(s, dst, sz, func(tcpsim.FlowResult) {
+			remaining--
+			if remaining == 0 && done != nil {
+				done()
+			}
+		})
+	}
+}

@@ -1,0 +1,231 @@
+// Package store simulates a replicated object store — the GFS/HDFS-
+// style system the Polyraptor paper assumes as its workload source —
+// running on the simulated fat-tree fabric.
+//
+// The subsystem has three parts:
+//
+//   - A catalogue of R-way replicated objects with rack-aware
+//     placement (no two replicas of an object share a rack, so any
+//     single server or rack failure costs at most one replica per
+//     object) and Zipf-skewed access popularity.
+//   - A client request engine issuing a Poisson stream of GETs and
+//     PUTs. Over the Polyraptor backend a PUT is a one-to-many
+//     multicast replication and a GET a many-to-one multi-source
+//     fetch; over the TCP/DCTCP baselines a PUT is R independent
+//     full-copy unicasts and a GET R uncoordinated 1/R partial
+//     fetches — exactly the paper's transfer-pattern mapping.
+//   - A failure/recovery engine that kills a server or a whole rack
+//     mid-run and drives the resulting re-replication storm, so
+//     recovery time and its interference with foreground GET latency
+//     become measurable quantities.
+//
+// Everything is deterministic per seed: the catalogue, the request
+// schedule, the failure victim and the repair plan all derive from
+// labelled sim.RNG streams.
+//
+// Modelling simplifications, chosen so the same request schedule is
+// comparable across backends:
+//
+//   - The catalogue registers a PUT's placement at issue time (the
+//     master grants the lease immediately); the transfer models the
+//     data path separately, and GETs only ever target the pre-loaded
+//     Zipf domain, so no read observes a write in flight.
+//   - Host death is a catalogue event, not a transport event: it
+//     redirects future placement, GET source selection and repair
+//     planning, but transfers already in flight to or from a dead
+//     host run to completion. A PUT overlapping the failure is
+//     therefore still repaired from its issue-time placement, and its
+//     copies to dead hosts still complete and are logged.
+package store
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Topology is the placement-relevant view of the fabric.
+type Topology interface {
+	NumHosts() int
+	NumRacks() int
+	RackOf(h int) int
+}
+
+// Object is one replicated block in the catalogue.
+type Object struct {
+	// ID is dense, 0..N-1, in creation order (seeded objects first,
+	// then PUT-created ones).
+	ID int
+	// Bytes is the object size.
+	Bytes int64
+	// Replicas are the hosts currently holding a full copy. Dead hosts
+	// are removed on failure; repair appends the re-replicated copy.
+	Replicas []int
+}
+
+// Catalog tracks objects, their placement, and host liveness.
+type Catalog struct {
+	topo    Topology
+	objects []Object
+	dead    map[int]bool
+}
+
+// NewCatalog returns an empty catalogue over the given fabric.
+func NewCatalog(topo Topology) *Catalog {
+	return &Catalog{topo: topo, dead: map[int]bool{}}
+}
+
+// Len returns the number of objects.
+func (c *Catalog) Len() int { return len(c.objects) }
+
+// Object returns object id by value (callers must not mutate
+// placement behind the catalogue's back).
+func (c *Catalog) Object(id int) Object { return c.objects[id] }
+
+// Alive reports whether host h is in service.
+func (c *Catalog) Alive(h int) bool { return !c.dead[h] }
+
+// AliveReplicas returns the in-service replica hosts of object id.
+func (c *Catalog) AliveReplicas(id int) []int {
+	var out []int
+	for _, h := range c.objects[id].Replicas {
+		if !c.dead[h] {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Add registers a new object with the given placement and returns it.
+func (c *Catalog) Add(bytes int64, replicas []int) Object {
+	o := Object{ID: len(c.objects), Bytes: bytes, Replicas: replicas}
+	c.objects = append(c.objects, o)
+	return o
+}
+
+// Place picks `r` replica hosts for a new object: distinct hosts in
+// distinct racks, all alive, and — when writerRack >= 0 — all outside
+// the writer's rack (the paper's GFS scenario places replicas
+// "randomly ... outside the client's rack"). Seeded objects pass
+// writerRack = -1. It returns nil when failures have left fewer
+// eligible racks than the placement needs (the caller skips the PUT);
+// asking for more racks than the fabric has at all is a configuration
+// error and panics.
+func (c *Catalog) Place(rng *rand.Rand, writerRack, r int) []int {
+	need := r
+	if writerRack >= 0 {
+		need++
+	}
+	if need > c.topo.NumRacks() {
+		panic(fmt.Sprintf("store: %d replicas need %d distinct racks, fabric has %d",
+			r, need, c.topo.NumRacks()))
+	}
+	used := map[int]bool{}
+	if writerRack >= 0 {
+		used[writerRack] = true
+	}
+	out := make([]int, 0, r)
+	for len(out) < r {
+		// Count eligible hosts under the current rack exclusions so
+		// dynamic exhaustion (dead racks) terminates instead of
+		// spinning — same guard as PlaceRepair.
+		eligible := 0
+		for h := 0; h < c.topo.NumHosts(); h++ {
+			if !c.dead[h] && !used[c.topo.RackOf(h)] {
+				eligible++
+			}
+		}
+		if eligible == 0 {
+			return nil
+		}
+		for {
+			h := rng.Intn(c.topo.NumHosts())
+			if c.dead[h] || used[c.topo.RackOf(h)] {
+				continue
+			}
+			used[c.topo.RackOf(h)] = true
+			out = append(out, h)
+			break
+		}
+	}
+	return out
+}
+
+// PlaceRepair picks one replacement host for object id: alive, not
+// already a replica, and in a rack none of the surviving replicas
+// occupy, restoring the distinct-rack invariant. It returns -1 when no
+// such host exists (every eligible rack is dead).
+func (c *Catalog) PlaceRepair(rng *rand.Rand, id int) int {
+	used := map[int]bool{}
+	for _, h := range c.AliveReplicas(id) {
+		used[c.topo.RackOf(h)] = true
+	}
+	// Count eligible hosts first so exhaustion terminates instead of
+	// spinning: a whole-rack failure can make entire racks ineligible.
+	eligible := 0
+	for h := 0; h < c.topo.NumHosts(); h++ {
+		if !c.dead[h] && !used[c.topo.RackOf(h)] {
+			eligible++
+		}
+	}
+	if eligible == 0 {
+		return -1
+	}
+	for {
+		h := rng.Intn(c.topo.NumHosts())
+		if !c.dead[h] && !used[c.topo.RackOf(h)] {
+			return h
+		}
+	}
+}
+
+// Kill marks hosts dead and strips them from every object's replica
+// set. It returns the IDs of objects that lost at least one replica,
+// in ID order — the re-replication work list.
+func (c *Catalog) Kill(hosts []int) []int {
+	for _, h := range hosts {
+		c.dead[h] = true
+	}
+	var degraded []int
+	for i := range c.objects {
+		o := &c.objects[i]
+		kept := o.Replicas[:0]
+		lost := false
+		for _, h := range o.Replicas {
+			if c.dead[h] {
+				lost = true
+			} else {
+				kept = append(kept, h)
+			}
+		}
+		o.Replicas = kept
+		if lost {
+			degraded = append(degraded, o.ID)
+		}
+	}
+	return degraded
+}
+
+// AddReplica records that host h now holds a full copy of object id
+// (a completed repair transfer).
+func (c *Catalog) AddReplica(id, h int) {
+	c.objects[id].Replicas = append(c.objects[id].Replicas, h)
+}
+
+// FullyReplicated reports whether every object has at least r alive
+// replicas in distinct racks.
+func (c *Catalog) FullyReplicated(r int) bool {
+	for i := range c.objects {
+		alive := c.AliveReplicas(i)
+		if len(alive) < r {
+			return false
+		}
+		racks := map[int]bool{}
+		for _, h := range alive {
+			if racks[c.topo.RackOf(h)] {
+				return false
+			}
+			racks[c.topo.RackOf(h)] = true
+		}
+	}
+	return true
+}

@@ -321,23 +321,35 @@ func (s *tcpSender) onRTO() {
 }
 
 func (s *tcpSender) sampleRTT(ackSeq int64) {
-	// Use the earliest unacked first-transmission at or below ackSeq.
-	for seq, at := range s.sent {
+	// Use the earliest unacked first-transmission at or below ackSeq —
+	// one sample per ACK. The selection must not depend on map
+	// iteration order: feeding the EWMA once per covered segment in
+	// random order made srtt/rttvar (and so RTO behaviour) vary from
+	// run to run under cumulative ACKs.
+	earliest := int64(-1)
+	var at sim.Time
+	for seq, t := range s.sent {
 		if seq < ackSeq {
-			rtt := s.sys.Net.Now() - at
-			if s.srtt == 0 {
-				s.srtt = rtt
-				s.rttvar = rtt / 2
-			} else {
-				delta := s.srtt - rtt
-				if delta < 0 {
-					delta = -delta
-				}
-				s.rttvar = (3*s.rttvar + delta) / 4
-				s.srtt = (7*s.srtt + rtt) / 8
+			if earliest < 0 || seq < earliest {
+				earliest, at = seq, t
 			}
 			delete(s.sent, seq)
 		}
+	}
+	if earliest < 0 {
+		return
+	}
+	rtt := s.sys.Net.Now() - at
+	if s.srtt == 0 {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+	} else {
+		delta := s.srtt - rtt
+		if delta < 0 {
+			delta = -delta
+		}
+		s.rttvar = (3*s.rttvar + delta) / 4
+		s.srtt = (7*s.srtt + rtt) / 8
 	}
 }
 

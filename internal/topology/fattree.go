@@ -124,6 +124,23 @@ func (ft *FatTree) RackOf(h int) int {
 	return pod*ft.K/2 + e
 }
 
+// NumRacks returns the number of racks (edge switches): k^2/2.
+func (ft *FatTree) NumRacks() int { return ft.K * ft.K / 2 }
+
+// HostsPerRack returns the number of hosts under each edge switch: k/2.
+func (ft *FatTree) HostsPerRack() int { return ft.K / 2 }
+
+// RackHosts returns the host IDs under edge switch `rack`, in port
+// order. Storage placement and whole-rack failure injection use it.
+func (ft *FatTree) RackHosts(rack int) []int {
+	half := ft.K / 2
+	out := make([]int, half)
+	for i := range out {
+		out[i] = rack*half + i
+	}
+	return out
+}
+
 // installRoutes sets the unicast forwarding closures. Edge and agg
 // switches return all uplinks as equal-cost candidates for non-local
 // destinations, which is what per-packet spraying and per-flow ECMP

@@ -27,6 +27,45 @@ func TestFatTreeDimensions(t *testing.T) {
 	}
 }
 
+// TestRackHelpers checks the storage-placement view of the tree:
+// rack count, rack membership, and agreement with RackOf/SameRack.
+func TestRackHelpers(t *testing.T) {
+	for _, k := range []int{4, 6} {
+		ft, err := NewFatTree(k, netsim.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := ft.NumRacks(), k*k/2; got != want {
+			t.Fatalf("k=%d: NumRacks=%d, want %d", k, got, want)
+		}
+		if got, want := ft.HostsPerRack(), k/2; got != want {
+			t.Fatalf("k=%d: HostsPerRack=%d, want %d", k, got, want)
+		}
+		seen := map[int]bool{}
+		for r := 0; r < ft.NumRacks(); r++ {
+			hosts := ft.RackHosts(r)
+			if len(hosts) != ft.HostsPerRack() {
+				t.Fatalf("k=%d rack %d: %d hosts, want %d", k, r, len(hosts), ft.HostsPerRack())
+			}
+			for _, h := range hosts {
+				if seen[h] {
+					t.Fatalf("k=%d: host %d in two racks", k, h)
+				}
+				seen[h] = true
+				if ft.RackOf(h) != r {
+					t.Fatalf("k=%d: RackOf(%d)=%d, want %d", k, h, ft.RackOf(h), r)
+				}
+				if !ft.SameRack(h, hosts[0]) {
+					t.Fatalf("k=%d: hosts %d and %d in rack %d not SameRack", k, h, hosts[0], r)
+				}
+			}
+		}
+		if len(seen) != ft.NumHosts() {
+			t.Fatalf("k=%d: racks cover %d hosts, want %d", k, len(seen), ft.NumHosts())
+		}
+	}
+}
+
 func TestFatTree250Servers(t *testing.T) {
 	// The paper's fabric: k=10 -> 250 servers.
 	ft, err := NewFatTree(10, netsim.DefaultConfig())

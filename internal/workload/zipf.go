@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples object indices 0..N-1 with popularity proportional to
+// 1/(rank+1)^skew — the access skew of real object stores (a few hot
+// blocks, a long cold tail). skew = 0 degenerates to uniform; the
+// commonly cited web/storage skew is ~0.9-1.1. Sampling walks a
+// precomputed CDF, so draws are O(log N) and deterministic given the
+// caller's RNG stream.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf precomputes the popularity CDF for n objects at the given
+// skew. It panics on n < 1 or negative skew: both are configuration
+// errors, not runtime conditions.
+func NewZipf(n int, skew float64) *Zipf {
+	if n < 1 {
+		panic("workload: Zipf needs at least one object")
+	}
+	if skew < 0 {
+		panic("workload: Zipf skew must be non-negative")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), skew)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding leaving the last bin short
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the domain size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws one object index from the popularity distribution.
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Weight returns the probability mass of object i.
+func (z *Zipf) Weight(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}

@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"testing"
+
+	"polyraptor/internal/sim"
+)
+
+// TestZipfDeterminism: identical seeds draw identical sequences;
+// different seeds diverge.
+func TestZipfDeterminism(t *testing.T) {
+	z := NewZipf(100, 0.9)
+	draw := func(seed int64) []int {
+		rng := sim.RNG(seed, "zipf-test")
+		out := make([]int, 200)
+		for i := range out {
+			out[i] = z.Sample(rng)
+		}
+		return out
+	}
+	a, b, c := draw(1), draw(1), draw(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, a[i], b[i])
+		}
+		same = same && a[i] == c[i]
+	}
+	if same {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+// TestZipfSkew: higher skew concentrates mass on low ranks; skew 0 is
+// uniform.
+func TestZipfSkew(t *testing.T) {
+	uniform := NewZipf(50, 0)
+	if w0, w49 := uniform.Weight(0), uniform.Weight(49); w0-w49 > 1e-12 || w49-w0 > 1e-12 {
+		t.Fatalf("skew 0 not uniform: w0=%g w49=%g", w0, w49)
+	}
+	mild, hot := NewZipf(50, 0.5), NewZipf(50, 1.5)
+	if !(hot.Weight(0) > mild.Weight(0) && mild.Weight(0) > uniform.Weight(0)) {
+		t.Fatalf("head mass not increasing with skew: %g %g %g",
+			uniform.Weight(0), mild.Weight(0), hot.Weight(0))
+	}
+	for _, z := range []*Zipf{uniform, mild, hot} {
+		sum := 0.0
+		for i := 0; i < z.N(); i++ {
+			sum += z.Weight(i)
+		}
+		if sum < 0.999999 || sum > 1.000001 {
+			t.Fatalf("weights sum to %g, want 1", sum)
+		}
+	}
+}
+
+// TestZipfSampleRange: every draw is a valid index and, with skew, the
+// most popular object really is drawn most often.
+func TestZipfSampleRange(t *testing.T) {
+	z := NewZipf(20, 1.0)
+	rng := sim.RNG(3, "zipf-range")
+	counts := make([]int, 20)
+	for i := 0; i < 20000; i++ {
+		s := z.Sample(rng)
+		if s < 0 || s >= 20 {
+			t.Fatalf("sample %d out of range", s)
+		}
+		counts[s]++
+	}
+	for i := 1; i < 20; i++ {
+		if counts[i] > counts[0] {
+			t.Fatalf("rank %d drawn %d times vs rank 0's %d — skew inverted", i, counts[i], counts[0])
+		}
+	}
+}
