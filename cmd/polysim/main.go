@@ -1,6 +1,9 @@
-// Command polysim runs a single Polyraptor or TCP scenario on a
+// Command polysim runs a single Polyraptor, TCP or DCTCP scenario on a
 // simulated fabric and prints per-session results — the exploratory
-// companion to polybench's fixed figures.
+// companion to polybench's fixed figures. With -runs N it repeats the
+// scenario over N SplitMix-derived sub-seeds on the sweep engine's
+// worker pool and prints aggregated statistics (mean, CI95, tails)
+// instead of per-receiver detail.
 //
 // Examples:
 //
@@ -10,144 +13,263 @@
 //	polysim -proto rq  -pattern incast      -senders 32 -bytes 262144
 //	polysim -proto tcp -pattern incast      -senders 32 -bytes 262144
 //	polysim -proto rq  -pattern multicast -replicas 5 -detach
+//	polysim -proto rq  -pattern incast -runs 5            # 5 seeds, parallel, aggregated
+//	polysim -proto rq  -pattern incast -runs 5 -parallel 1
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"polyraptor/internal/netsim"
 	"polyraptor/internal/polyraptor"
 	"polyraptor/internal/sim"
+	"polyraptor/internal/sweep"
 	"polyraptor/internal/tcpsim"
 	"polyraptor/internal/topology"
 	"polyraptor/internal/workload"
 )
 
-func main() {
-	var (
-		proto    = flag.String("proto", "rq", "transport: rq or tcp")
-		pattern  = flag.String("pattern", "unicast", "unicast, multicast, multisource, incast")
-		k        = flag.Int("k", 4, "fat-tree arity (k even; hosts = k^3/4)")
-		bytes    = flag.Int64("bytes", 4<<20, "object bytes (per sender for incast)")
-		replicas = flag.Int("replicas", 3, "replica count for multicast/multisource")
-		senders  = flag.Int("senders", 8, "sender count for incast")
-		seed     = flag.Int64("seed", 1, "seed")
-		detach   = flag.Bool("detach", false, "enable straggler detachment (rq multicast)")
-		trim     = flag.Bool("trim", true, "NDP packet trimming switches (rq)")
-	)
-	flag.Parse()
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
 
+// scenario bundles one polysim configuration.
+type scenario struct {
+	proto    string
+	pattern  string
+	k        int
+	bytes    int64
+	replicas int
+	senders  int
+	detach   bool
+	trim     bool
+}
+
+// run is main with its dependencies injected, so tests can drive the
+// whole CLI in-process.
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("polysim", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	var (
+		proto    = fs.String("proto", "rq", "transport: rq, tcp or dctcp")
+		pattern  = fs.String("pattern", "unicast", "unicast, multicast, multisource, incast")
+		k        = fs.Int("k", 4, "fat-tree arity (k even; hosts = k^3/4)")
+		bytes    = fs.Int64("bytes", 4<<20, "object bytes (per sender for incast)")
+		replicas = fs.Int("replicas", 3, "replica count for multicast/multisource")
+		senders  = fs.Int("senders", 8, "sender count for incast")
+		seed     = fs.Int64("seed", 1, "seed (base seed with -runs > 1)")
+		detach   = fs.Bool("detach", false, "enable straggler detachment (rq multicast)")
+		trim     = fs.Bool("trim", true, "NDP packet trimming switches (rq)")
+		runs     = fs.Int("runs", 1, "repetitions over derived sub-seeds (1 = verbose single run)")
+		parallel = fs.Int("parallel", 0, "max concurrent runs with -runs > 1 (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	sc := scenario{
+		proto: *proto, pattern: *pattern, k: *k, bytes: *bytes,
+		replicas: *replicas, senders: *senders, detach: *detach, trim: *trim,
+	}
+	if err := sc.validate(); err != nil {
+		fmt.Fprintf(errw, "polysim: %v\n", err)
+		return 2
+	}
+	if *runs < 1 {
+		fmt.Fprintf(errw, "polysim: -runs must be >= 1, got %d\n", *runs)
+		return 2
+	}
+
+	if *runs == 1 {
+		metrics, err := sc.runOnce(*seed, out)
+		if err != nil {
+			fmt.Fprintf(errw, "polysim: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "%s %s: %.3f Gbps (makespan %v)\n",
+			sc.proto, sc.pattern, metrics["goodput_gbps"],
+			sim.Time(metrics["makespan_s"]*1e9))
+		return 0
+	}
+
+	res, err := sweep.Matrix{
+		Cells: []sweep.Cell{{
+			Scenario: sc.pattern,
+			Backend:  sc.proto,
+			Params: map[string]string{
+				"k":     fmt.Sprint(sc.k),
+				"bytes": fmt.Sprint(sc.bytes),
+			},
+			Runner: sweep.RunnerFunc(func(s int64) (sweep.Metrics, error) {
+				return sc.runOnce(s, nil)
+			}),
+		}},
+		Seeds:       *runs,
+		BaseSeed:    *seed,
+		Parallelism: *parallel,
+	}.Run()
+	if err != nil {
+		fmt.Fprintf(errw, "polysim: %v\n", err)
+		return 1
+	}
+	fmt.Fprint(out, res.Table(nil))
+	if n := len(res.Cells[0].Errors); n > 0 {
+		fmt.Fprintf(errw, "polysim: %d run(s) failed\n", n)
+		return 1
+	}
+	return 0
+}
+
+// validate rejects impossible flag combinations before anything is
+// built: the peer picker requires enough distinct out-of-rack hosts,
+// and an oversized -senders/-replicas used to spin it forever.
+func (sc scenario) validate() error {
+	switch sc.proto {
+	case "rq", "tcp", "dctcp":
+	default:
+		return fmt.Errorf("unknown protocol %q (rq|tcp|dctcp)", sc.proto)
+	}
+	switch sc.pattern {
+	case "unicast", "multicast", "multisource", "incast":
+	default:
+		return fmt.Errorf("unknown pattern %q (unicast|multicast|multisource|incast)", sc.pattern)
+	}
+	if err := topology.CheckArity(sc.k); err != nil {
+		return err
+	}
+	if sc.bytes < 1 {
+		return fmt.Errorf("bytes must be >= 1, got %d", sc.bytes)
+	}
+	// Peers must sit outside the client's rack.
+	switch sc.pattern {
+	case "multicast", "multisource":
+		if err := topology.CheckFanout(sc.k, sc.replicas, "replicas"); err != nil {
+			return fmt.Errorf("pattern %s %w", sc.pattern, err)
+		}
+	case "incast":
+		if err := topology.CheckFanout(sc.k, sc.senders, "senders"); err != nil {
+			return fmt.Errorf("incast %w", err)
+		}
+	}
+	return nil
+}
+
+// netConfig builds the switch configuration for one seeded run.
+func (sc scenario) netConfig(seed int64) netsim.Config {
 	ncfg := netsim.DefaultConfig()
-	ncfg.Seed = *seed
-	ncfg.Trimming = *trim && *proto == "rq"
-	if *proto == "dctcp" {
+	ncfg.Seed = seed
+	ncfg.Trimming = sc.trim && sc.proto == "rq"
+	if sc.proto == "dctcp" {
 		ncfg.ECNThreshold = 20
 	}
-	ft, err := topology.NewFatTree(*k, ncfg)
+	return ncfg
+}
+
+// runOnce executes the scenario for one seed. When w is non-nil the
+// run is verbose: fabric banner, per-receiver/flow completion lines
+// and queue totals. Metrics are returned either way, so -runs > 1
+// aggregates exactly what a single run reports.
+func (sc scenario) runOnce(seed int64, w io.Writer) (sweep.Metrics, error) {
+	ncfg := sc.netConfig(seed)
+	ft, err := topology.NewFatTree(sc.k, ncfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "polysim:", err)
-		os.Exit(1)
+		return nil, err
 	}
-	fmt.Printf("fabric: k=%d (%d hosts), link %d Mbps, delay %v, trimming=%v, ecn=%d\n",
-		*k, ft.NumHosts(), ncfg.LinkRate/1e6, ncfg.LinkDelay, ncfg.Trimming, ncfg.ECNThreshold)
+	if w != nil {
+		fmt.Fprintf(w, "fabric: k=%d (%d hosts), link %d Mbps, delay %v, trimming=%v, ecn=%d\n",
+			sc.k, ft.NumHosts(), ncfg.LinkRate/1e6, ncfg.LinkDelay, ncfg.Trimming, ncfg.ECNThreshold)
+	}
 
-	switch *proto {
-	case "rq":
-		runRQ(ft, *pattern, *bytes, *replicas, *senders, *seed, *detach)
-	case "tcp":
-		runTCP(ft, *pattern, *bytes, *replicas, *senders, *seed, tcpsim.DefaultConfig())
-	case "dctcp":
-		runTCP(ft, *pattern, *bytes, *replicas, *senders, *seed, tcpsim.DCTCPConfig())
-	default:
-		fmt.Fprintf(os.Stderr, "polysim: unknown protocol %q\n", *proto)
-		os.Exit(2)
+	var last sim.Time
+	transferred := sc.bytes // bytes the pattern moves end to end
+	if sc.pattern == "incast" {
+		transferred = sc.bytes * int64(sc.senders)
 	}
-}
 
-func runRQ(ft *topology.FatTree, pattern string, bytes int64, replicas, senders int, seed int64, detach bool) {
-	pcfg := polyraptor.DefaultConfig()
-	pcfg.StragglerDetach = detach
-	sys := polyraptor.NewSystem(ft.Net, pcfg, seed)
-	sys.PruneGroup = ft.PruneMulticastLeaf
-	report := func(ev polyraptor.CompletionEvent) {
-		fmt.Printf("receiver %3d: %8.3f Gbps  (%d symbols, %d trims, %v, detached=%v)\n",
-			ev.Receiver, ev.GoodputGbps(), ev.Symbols, ev.Trims, ev.End-ev.Start, ev.Detached)
-	}
-	switch pattern {
-	case "unicast":
-		sys.StartUnicast(0, pick(ft, 0, seed, 1)[0], bytes, report)
-	case "multicast":
-		peers := pick(ft, 0, seed, replicas)
-		g := ft.InstallMulticastGroup(0, peers)
-		sys.StartMulticast(0, peers, g, bytes, report)
-	case "multisource":
-		peers := pick(ft, 0, seed, replicas)
-		sys.StartMultiSource(peers, 0, bytes, report)
-	case "incast":
-		ic := workload.GenerateIncast(workload.IncastConfig{Senders: senders, BytesPerSender: bytes, Seed: seed}, ft)
-		var last sim.Time
-		for _, s := range ic.Senders {
-			sys.StartUnicast(s, ic.Client, ic.Bytes, func(ev polyraptor.CompletionEvent) {
-				if ev.End > last {
-					last = ev.End
-				}
-			})
+	if sc.proto == "rq" {
+		pcfg := polyraptor.DefaultConfig()
+		pcfg.StragglerDetach = sc.detach
+		sys := polyraptor.NewSystem(ft.Net, pcfg, seed)
+		sys.PruneGroup = ft.PruneMulticastLeaf
+		report := func(ev polyraptor.CompletionEvent) {
+			if ev.End > last {
+				last = ev.End
+			}
+			if w != nil {
+				fmt.Fprintf(w, "receiver %3d: %8.3f Gbps  (%d symbols, %d trims, %v, detached=%v)\n",
+					ev.Receiver, ev.GoodputGbps(), ev.Symbols, ev.Trims, ev.End-ev.Start, ev.Detached)
+			}
 		}
-		ft.Net.Eng.Run()
-		agg := float64(bytes*int64(senders)*8) / last.Seconds() / 1e9
-		fmt.Printf("incast: %d senders x %d B -> aggregate %.3f Gbps (makespan %v)\n",
-			senders, bytes, agg, last)
-		printQueueStats(ft)
-		return
-	default:
-		fmt.Fprintf(os.Stderr, "polysim: unknown pattern %q\n", pattern)
-		os.Exit(2)
+		switch sc.pattern {
+		case "unicast":
+			sys.StartUnicast(0, pick(ft, 0, seed, 1)[0], sc.bytes, report)
+		case "multicast":
+			peers := pick(ft, 0, seed, sc.replicas)
+			g := ft.InstallMulticastGroup(0, peers)
+			sys.StartMulticast(0, peers, g, sc.bytes, report)
+		case "multisource":
+			peers := pick(ft, 0, seed, sc.replicas)
+			sys.StartMultiSource(peers, 0, sc.bytes, report)
+		case "incast":
+			ic := workload.GenerateIncast(workload.IncastConfig{Senders: sc.senders, BytesPerSender: sc.bytes, Seed: seed}, ft)
+			for _, s := range ic.Senders {
+				sys.StartUnicast(s, ic.Client, ic.Bytes, report)
+			}
+		}
+	} else {
+		tcfg := tcpsim.DefaultConfig()
+		if sc.proto == "dctcp" {
+			tcfg = tcpsim.DCTCPConfig()
+		}
+		sys := tcpsim.NewSystem(ft.Net, tcfg)
+		report := func(r tcpsim.FlowResult) {
+			if r.End > last {
+				last = r.End
+			}
+			if w != nil {
+				fmt.Fprintf(w, "flow %2d %3d->%3d: %8.3f Gbps  (%d rtx, %d RTO, %v)\n",
+					r.Flow, r.Src, r.Dst, r.GoodputGbps(), r.Retransmits, r.Timeouts, r.End-r.Start)
+			}
+		}
+		switch sc.pattern {
+		case "unicast":
+			sys.StartFlow(0, pick(ft, 0, seed, 1)[0], sc.bytes, report)
+		case "multicast":
+			for _, p := range pick(ft, 0, seed, sc.replicas) {
+				sys.StartFlow(0, p, sc.bytes, report) // multi-unicast emulation
+			}
+		case "multisource":
+			for _, p := range pick(ft, 0, seed, sc.replicas) {
+				sys.StartFlow(p, 0, sc.bytes/int64(sc.replicas), report)
+			}
+		case "incast":
+			ic := workload.GenerateIncast(workload.IncastConfig{Senders: sc.senders, BytesPerSender: sc.bytes, Seed: seed}, ft)
+			for _, s := range ic.Senders {
+				sys.StartFlow(s, ic.Client, ic.Bytes, report)
+			}
+		}
 	}
+
 	ft.Net.Eng.Run()
-	printQueueStats(ft)
-}
-
-func runTCP(ft *topology.FatTree, pattern string, bytes int64, replicas, senders int, seed int64, tcfg tcpsim.Config) {
-	sys := tcpsim.NewSystem(ft.Net, tcfg)
-	report := func(r tcpsim.FlowResult) {
-		fmt.Printf("flow %2d %3d->%3d: %8.3f Gbps  (%d rtx, %d RTO, %v)\n",
-			r.Flow, r.Src, r.Dst, r.GoodputGbps(), r.Retransmits, r.Timeouts, r.End-r.Start)
+	tot := ft.Net.QueueTotals()
+	if w != nil {
+		fmt.Fprintf(w, "switch queues: %d enqueued, %d trimmed, %d dropped (events: %d)\n",
+			tot.Enqueued, tot.Trimmed, tot.Dropped, ft.Net.Eng.Processed())
 	}
-	switch pattern {
-	case "unicast":
-		sys.StartFlow(0, pick(ft, 0, seed, 1)[0], bytes, report)
-	case "multicast":
-		for _, p := range pick(ft, 0, seed, replicas) {
-			sys.StartFlow(0, p, bytes, report) // multi-unicast emulation
-		}
-	case "multisource":
-		for _, p := range pick(ft, 0, seed, replicas) {
-			sys.StartFlow(p, 0, bytes/int64(replicas), report)
-		}
-	case "incast":
-		ic := workload.GenerateIncast(workload.IncastConfig{Senders: senders, BytesPerSender: bytes, Seed: seed}, ft)
-		var last sim.Time
-		for _, s := range ic.Senders {
-			sys.StartFlow(s, ic.Client, ic.Bytes, func(r tcpsim.FlowResult) {
-				if r.End > last {
-					last = r.End
-				}
-			})
-		}
-		ft.Net.Eng.Run()
-		agg := float64(bytes*int64(senders)*8) / last.Seconds() / 1e9
-		fmt.Printf("incast: %d senders x %d B -> aggregate %.3f Gbps (makespan %v)\n",
-			senders, bytes, agg, last)
-		printQueueStats(ft)
-		return
-	default:
-		fmt.Fprintf(os.Stderr, "polysim: unknown pattern %q\n", pattern)
-		os.Exit(2)
+	if last <= 0 {
+		return nil, fmt.Errorf("no session completed (pattern %s)", sc.pattern)
 	}
-	ft.Net.Eng.Run()
-	printQueueStats(ft)
+	return sweep.Metrics{
+		"goodput_gbps": float64(transferred*8) / last.Seconds() / 1e9,
+		"makespan_s":   last.Seconds(),
+		"trimmed":      float64(tot.Trimmed),
+		"dropped":      float64(tot.Dropped),
+	}, nil
 }
 
 // pick selects n distinct hosts outside host `client`'s rack.
@@ -168,10 +290,4 @@ func pick(ft *topology.FatTree, client int, seed int64, n int) []int {
 		}
 	}
 	return out
-}
-
-func printQueueStats(ft *topology.FatTree) {
-	tot := ft.Net.QueueTotals()
-	fmt.Printf("switch queues: %d enqueued, %d trimmed, %d dropped (events: %d)\n",
-		tot.Enqueued, tot.Trimmed, tot.Dropped, ft.Net.Eng.Processed())
 }

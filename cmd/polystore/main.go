@@ -4,6 +4,11 @@
 // across the Polyraptor, TCP and DCTCP transports — optionally with a
 // server or rack failure and its re-replication storm mid-run.
 //
+// With -runs N the same cluster template is repeated over N
+// SplitMix-derived sub-seeds per backend on the sweep engine's worker
+// pool, and aggregated statistics (mean, CI95, tails) are printed
+// instead of the single-run table.
+//
 // Examples:
 //
 //	polystore                                  # medium cluster, all backends, rack failure
@@ -11,14 +16,16 @@
 //	polystore -replicas 2 -zipf 1.1 -putfrac 0.3
 //	polystore -fail server -failfrac 0.25
 //	polystore -fail none -csv
+//	polystore -runs 5                          # 5 seeds per backend, parallel, aggregated
+//	polystore -runs 5 -json > sweep.json
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strings"
 
 	"polyraptor/internal/harness"
 	"polyraptor/internal/store"
@@ -45,21 +52,38 @@ func run(args []string, out, errw io.Writer) int {
 		failMode = fs.String("fail", def.FailMode.String(), "mid-run failure: none, server, rack")
 		failfrac = fs.Float64("failfrac", def.FailFrac, "failure position as a fraction of the request stream")
 		backends = fs.String("backend", "all", "comma list of rq|polyraptor, tcp, dctcp, or all")
-		seed     = fs.Int64("seed", def.Seed, "seed")
+		seed     = fs.Int64("seed", def.Seed, "seed (base seed with -runs > 1)")
 		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		nruns    = fs.Int("runs", 1, "repetitions per backend over derived sub-seeds (1 = single detailed run)")
+		parallel = fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		jsonOut  = fs.Bool("json", false, "emit aggregated sweep JSON (implies the multi-seed path)")
 	)
 	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
 		return 2
 	}
 
+	// Validate every flag combination up front — including R against
+	// the -k fabric's rack count — so an impossible matrix is a clear
+	// immediate error instead of a failure deep in placement.
 	mode, ok := store.ParseFailMode(*failMode)
 	if !ok {
 		fmt.Fprintf(errw, "polystore: unknown failure mode %q\n", *failMode)
 		return 2
 	}
-	kinds, err := parseBackends(*backends)
+	kinds, err := store.ParseBackends(*backends)
 	if err != nil {
 		fmt.Fprintf(errw, "polystore: %v\n", err)
+		return 2
+	}
+	if *nruns < 1 {
+		fmt.Fprintf(errw, "polystore: -runs must be >= 1, got %d\n", *nruns)
+		return 2
+	}
+	if *csv && *jsonOut {
+		fmt.Fprintln(errw, "polystore: -csv and -json are mutually exclusive")
 		return 2
 	}
 
@@ -76,8 +100,18 @@ func run(args []string, out, errw io.Writer) int {
 	cfg.FailMode = mode
 	cfg.FailFrac = *failfrac
 	cfg.Seed = *seed
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintf(errw, "polystore: %v\n", err)
+		return 2
+	}
 
-	runs, err := harness.RunStorageCluster(harness.StorageOptions{Cluster: cfg, Backends: kinds})
+	if *nruns > 1 || *jsonOut {
+		return runSweep(cfg, kinds, *nruns, *parallel, *csv, *jsonOut, out, errw)
+	}
+
+	runs, err := harness.RunStorageCluster(harness.StorageOptions{
+		Cluster: cfg, Backends: kinds, Parallelism: *parallel,
+	})
 	if err != nil {
 		fmt.Fprintf(errw, "polystore: %v\n", err)
 		return 1
@@ -91,27 +125,36 @@ func run(args []string, out, errw io.Writer) int {
 	return 0
 }
 
-// parseBackends expands the -backend flag into backend kinds.
-func parseBackends(arg string) ([]store.BackendKind, error) {
-	if arg == "all" {
-		return []store.BackendKind{store.BackendPolyraptor, store.BackendTCP, store.BackendDCTCP}, nil
+// runSweep is the multi-seed path: the cluster template repeated over
+// derived sub-seeds per backend, aggregated by the sweep engine.
+func runSweep(cfg store.Config, kinds []store.BackendKind, runs, parallel int, csv, jsonOut bool, out, errw io.Writer) int {
+	res, err := harness.StorageSweep(cfg, kinds, runs, parallel)
+	if err != nil {
+		fmt.Fprintf(errw, "polystore: %v\n", err)
+		return 1
 	}
-	var out []store.BackendKind
-	for _, name := range strings.Split(arg, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			continue
+	switch {
+	case jsonOut:
+		js, err := res.JSON()
+		if err != nil {
+			fmt.Fprintf(errw, "polystore: %v\n", err)
+			return 1
 		}
-		kind, ok := store.ParseBackend(name)
-		if !ok {
-			return nil, fmt.Errorf("unknown backend %q", name)
+		out.Write(js)
+		io.WriteString(out, "\n")
+	case csv:
+		fmt.Fprint(out, res.CSV())
+	default:
+		fmt.Fprint(out, res.Table(nil))
+	}
+	for _, c := range res.Cells {
+		if len(c.Errors) > 0 {
+			fmt.Fprintf(errw, "polystore: backend %s: %d run(s) failed: %s\n",
+				c.Backend, len(c.Errors), c.Errors[0])
+			return 1
 		}
-		out = append(out, kind)
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("no backends selected")
-	}
-	return out, nil
+	return 0
 }
 
 func writeTable(w io.Writer, cfg store.Config, runs []harness.StorageRun) {

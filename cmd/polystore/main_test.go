@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -50,21 +51,113 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-backend", "quic"},
 		{"-backend", ","},
 		{"-nope"},
+		{"-k", "5"},
+		{"-k", "4", "-replicas", "8"}, // 9 racks needed, k=4 has 8
+		{"-replicas", "0"},
+		{"-objects", "0"},
+		{"-bytes", "0"},
+		{"-putfrac", "1.5"},
+		{"-failfrac", "-0.1"},
+		{"-zipf", "-1"},
+		{"-requests", "-1"},
+		{"-load", "0", "-lambda", "0"},
+		{"-runs", "0"},
+		{"-csv", "-json"},
 	} {
 		var out, errw bytes.Buffer
-		if code := run(args, &out, &errw); code == 0 {
-			t.Fatalf("run(%v) succeeded, want failure", args)
+		if code := run(args, &out, &errw); code != 2 {
+			t.Fatalf("run(%v) exited %d, want 2; stderr: %s", args, code, errw.String())
+		}
+		if errw.Len() == 0 {
+			t.Fatalf("run(%v) printed no error", args)
+		}
+	}
+}
+
+// TestRunValidatesBeforeRunning: an impossible replicas/rack combo is
+// reported with the rack arithmetic, up front.
+func TestRunValidatesBeforeRunning(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-k", "4", "-replicas", "8"}, &out, &errw)
+	if code != 2 {
+		t.Fatalf("run exited %d, want 2", code)
+	}
+	s := errw.String()
+	for _, want := range []string{"R=8", "9 distinct racks", "k=4", "has 8"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("error missing %q: %s", want, s)
+		}
+	}
+	if out.Len() != 0 {
+		t.Fatalf("stdout should be empty, got: %s", out.String())
+	}
+}
+
+// TestRunMultiSeed: -runs > 1 aggregates per backend over derived
+// sub-seeds, byte-identically at any parallelism.
+func TestRunMultiSeed(t *testing.T) {
+	sweepArgs := func(extra ...string) []string {
+		return append([]string{
+			"-k", "4", "-objects", "8", "-bytes", "65536", "-requests", "20",
+			"-backend", "rq,tcp", "-fail", "rack", "-runs", "3",
+		}, extra...)
+	}
+	var serial, parallel, errw bytes.Buffer
+	if code := run(sweepArgs("-parallel", "1", "-json"), &serial, &errw); code != 0 {
+		t.Fatalf("serial run exited %d: %s", code, errw.String())
+	}
+	errw.Reset()
+	if code := run(sweepArgs("-json"), &parallel, &errw); code != 0 {
+		t.Fatalf("parallel run exited %d: %s", code, errw.String())
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("JSON differs between -parallel 1 and default:\n%s\nvs\n%s", serial.String(), parallel.String())
+	}
+	var res struct {
+		Seeds int `json:"seeds"`
+		Cells []struct {
+			Backend string   `json:"backend"`
+			Errors  []string `json:"errors"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(serial.Bytes(), &res); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+	if res.Seeds != 3 || len(res.Cells) != 2 {
+		t.Fatalf("decoded %d cells x %d seeds, want 2 x 3", len(res.Cells), res.Seeds)
+	}
+
+	var table bytes.Buffer
+	errw.Reset()
+	if code := run(sweepArgs(), &table, &errw); code != 0 {
+		t.Fatalf("table run exited %d: %s", code, errw.String())
+	}
+	for _, want := range []string{"storage/polyraptor", "storage/tcp", "get_gbps", "±CI95"} {
+		if !strings.Contains(table.String(), want) {
+			t.Fatalf("aggregate table missing %q:\n%s", want, table.String())
 		}
 	}
 }
 
 func TestParseBackends(t *testing.T) {
-	all, err := parseBackends("all")
+	all, err := store.ParseBackends("all")
 	if err != nil || len(all) != 3 {
-		t.Fatalf("parseBackends(all) = %v, %v", all, err)
+		t.Fatalf("ParseBackends(all) = %v, %v", all, err)
 	}
-	got, err := parseBackends("rq, dctcp")
+	got, err := store.ParseBackends("rq, dctcp")
 	if err != nil || len(got) != 2 || got[0] != store.BackendPolyraptor || got[1] != store.BackendDCTCP {
-		t.Fatalf("parseBackends(rq, dctcp) = %v, %v", got, err)
+		t.Fatalf("ParseBackends(rq, dctcp) = %v, %v", got, err)
+	}
+}
+
+// TestRunHelpExitsZero: -h prints usage and exits 0, like
+// flag.ExitOnError tools do.
+func TestRunHelpExitsZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-h) exited %d, want 0", code)
+	}
+	if !strings.Contains(errw.String(), "Usage") {
+		t.Fatalf("help output missing usage: %s", errw.String())
 	}
 }

@@ -1,0 +1,250 @@
+// Command polysweep runs declarative experiment sweeps: a matrix of
+// backend x scenario cells, each repeated over derived sub-seeds,
+// executed concurrently on a worker pool and aggregated to mean, 95%
+// confidence interval and tail percentiles. It is the multi-seed,
+// parallel path to every experiment the repo knows how to run —
+// reproducing a paper figure honestly (5 seeded repetitions with
+// Student-t error bars) in minutes instead of hours.
+//
+// Results are byte-identical at any -parallel setting: each run gets
+// its own SplitMix-derived sub-seed and its own simulation, and
+// aggregation order is fixed by the matrix, not by completion order.
+//
+// Examples:
+//
+//	polysweep                                        # incast+storage x all backends x 5 seeds
+//	polysweep -scenarios all -seeds 5
+//	polysweep -scenarios incast -backends rq,dctcp -senders 16
+//	polysweep -scenarios storage -requests 300 -fail rack -format json
+//	polysweep -scenarios ablations -seeds 3
+//	polysweep -parallel 1                            # serial reference run
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"polyraptor/internal/harness"
+	"polyraptor/internal/store"
+	"polyraptor/internal/sweep"
+	"polyraptor/internal/topology"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with its dependencies injected, so tests can drive the
+// whole CLI in-process.
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("polysweep", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	def := harness.DefaultSweepParams()
+	stdef := def.Store
+	var (
+		scenarios = fs.String("scenarios", "incast,storage", "comma list of fig1a, fig1b, incast, storage, ablations, or all")
+		backends  = fs.String("backends", "all", "comma list of rq|polyraptor, tcp, dctcp, or all")
+		seeds     = fs.Int("seeds", 5, "repetitions per cell (paper: 5)")
+		seed      = fs.Int64("seed", 1, "base seed for sub-seed derivation")
+		parallel  = fs.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS)")
+		format    = fs.String("format", "table", "output format: table, csv, json")
+
+		k        = fs.Int("k", def.FatTreeK, "fat-tree arity (k even; hosts = k^3/4)")
+		bytes    = fs.Int64("bytes", def.Bytes, "object bytes (per sender for incast)")
+		replicas = fs.Int("replicas", def.Replicas, "replica count (fig1a/fig1b, storage)")
+		senders  = fs.Int("senders", def.Senders, "incast fan-in")
+		sessions = fs.Int("sessions", def.Sessions, "fig1a/fig1b session count")
+		load     = fs.Float64("load", def.LoadFactor, "fig1a/fig1b offered-load fraction")
+
+		objects  = fs.Int("objects", stdef.Objects, "storage: pre-loaded catalogue objects")
+		requests = fs.Int("requests", stdef.Requests, "storage: client requests")
+		putfrac  = fs.Float64("putfrac", stdef.PutFrac, "storage: fraction of requests that are PUTs")
+		zipf     = fs.Float64("zipf", stdef.ZipfSkew, "storage: Zipf popularity skew")
+		failMode = fs.String("fail", stdef.FailMode.String(), "storage: mid-run failure: none, server, rack")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	if *seeds < 1 {
+		fmt.Fprintf(errw, "polysweep: -seeds must be >= 1, got %d\n", *seeds)
+		return 2
+	}
+	if *format != "table" && *format != "csv" && *format != "json" {
+		fmt.Fprintf(errw, "polysweep: unknown format %q (table|csv|json)\n", *format)
+		return 2
+	}
+
+	p := def
+	p.FatTreeK = *k
+	p.Bytes = *bytes
+	p.Replicas = *replicas
+	p.Senders = *senders
+	p.Sessions = *sessions
+	p.LoadFactor = *load
+	p.Store.FatTreeK = *k
+	p.Store.ObjectBytes = *bytes
+	p.Store.Replicas = *replicas
+	p.Store.Objects = *objects
+	p.Store.Requests = *requests
+	p.Store.PutFrac = *putfrac
+	p.Store.ZipfSkew = *zipf
+	mode, ok := store.ParseFailMode(*failMode)
+	if !ok {
+		fmt.Fprintf(errw, "polysweep: unknown failure mode %q\n", *failMode)
+		return 2
+	}
+	p.Store.FailMode = mode
+	p.Store.Seed = *seed
+
+	scen, err := parseScenarios(*scenarios)
+	if err != nil {
+		fmt.Fprintf(errw, "polysweep: %v\n", err)
+		return 2
+	}
+	kinds, err := store.ParseBackends(*backends)
+	if err != nil {
+		fmt.Fprintf(errw, "polysweep: %v\n", err)
+		return 2
+	}
+	if err := validateParams(p, scen); err != nil {
+		fmt.Fprintf(errw, "polysweep: %v\n", err)
+		return 2
+	}
+
+	var cells []sweep.Cell
+	for _, s := range scen {
+		if s == "ablations" {
+			// Ablations contrast Polyraptor against itself (trimming
+			// off, pull-only start, ...), so the backend axis does not
+			// apply — say so instead of silently dropping it.
+			if *backends != "all" && *backends != "rq" && *backends != "polyraptor" {
+				fmt.Fprintln(errw, "polysweep: note: ablation cells always run on the rq backend; -backends does not apply to them")
+			}
+			cells = append(cells, harness.AblationCells(p)...)
+			continue
+		}
+		for _, be := range kinds {
+			cell, err := harness.NewSweepCell(s, be, p)
+			if err != nil {
+				fmt.Fprintf(errw, "polysweep: %v\n", err)
+				return 2
+			}
+			cells = append(cells, cell)
+		}
+	}
+
+	start := time.Now()
+	res, err := sweep.Matrix{Cells: cells, Seeds: *seeds, BaseSeed: *seed, Parallelism: *parallel}.Run()
+	if err != nil {
+		fmt.Fprintf(errw, "polysweep: %v\n", err)
+		return 1
+	}
+	// Wall clock goes to stderr so machine-readable stdout stays
+	// byte-identical across parallelism settings.
+	fmt.Fprintf(errw, "polysweep: %d cells x %d seeds (%d runs) in %v\n",
+		len(cells), *seeds, len(cells)**seeds, time.Since(start).Round(time.Millisecond))
+
+	switch *format {
+	case "table":
+		fmt.Fprint(out, res.Table(nil))
+	case "csv":
+		fmt.Fprint(out, res.CSV())
+	case "json":
+		js, err := res.JSON()
+		if err != nil {
+			fmt.Fprintf(errw, "polysweep: %v\n", err)
+			return 1
+		}
+		out.Write(js)
+		io.WriteString(out, "\n")
+	}
+	if bad := failedRuns(res); bad > 0 {
+		fmt.Fprintf(errw, "polysweep: %d run(s) failed (see errors above)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// parseScenarios expands the -scenarios flag, preserving order and
+// rejecting unknown names before anything runs.
+func parseScenarios(arg string) ([]string, error) {
+	if arg == "all" {
+		return append(harness.SweepScenarios(), "ablations"), nil
+	}
+	known := map[string]bool{"ablations": true}
+	for _, s := range harness.SweepScenarios() {
+		known[s] = true
+	}
+	var out []string
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !known[name] {
+			return nil, fmt.Errorf("unknown scenario %q (have %v, ablations)", name, harness.SweepScenarios())
+		}
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no scenarios selected")
+	}
+	return out, nil
+}
+
+// validateParams checks the scenario parameters against the fabric
+// before any cell runs — the sweep equivalent of polystore's up-front
+// flag validation.
+func validateParams(p harness.SweepParams, scenarios []string) error {
+	if err := topology.CheckArity(p.FatTreeK); err != nil {
+		return err
+	}
+	for _, s := range scenarios {
+		switch s {
+		case "ablations":
+			// A1 runs a 12-sender incast; peers must be out-of-rack, so
+			// a too-small fabric would spin the peer picker forever.
+			if topology.OutOfRackHosts(p.FatTreeK) < 12 {
+				return fmt.Errorf("ablations need >= 12 out-of-rack hosts (k >= 4), k=%d fabric has %d",
+					p.FatTreeK, topology.OutOfRackHosts(p.FatTreeK))
+			}
+		case "incast":
+			if err := topology.CheckFanout(p.FatTreeK, p.Senders, "senders"); err != nil {
+				return fmt.Errorf("incast %w", err)
+			}
+		case "fig1a", "fig1b":
+			if err := topology.CheckFanout(p.FatTreeK, p.Replicas, "replicas"); err != nil {
+				return fmt.Errorf("%s %w", s, err)
+			}
+			if p.Sessions < 1 {
+				return fmt.Errorf("%s needs sessions >= 1, got %d", s, p.Sessions)
+			}
+			if p.LoadFactor <= 0 {
+				return fmt.Errorf("%s needs load > 0, got %g", s, p.LoadFactor)
+			}
+		case "storage":
+			if err := p.Store.Validate(); err != nil {
+				return err
+			}
+		}
+	}
+	if p.Bytes < 1 {
+		return fmt.Errorf("bytes must be >= 1, got %d", p.Bytes)
+	}
+	return nil
+}
+
+// failedRuns counts repetitions that errored across all cells.
+func failedRuns(res *sweep.Result) int {
+	n := 0
+	for _, c := range res.Cells {
+		n += len(c.Errors)
+	}
+	return n
+}

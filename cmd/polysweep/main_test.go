@@ -1,0 +1,154 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"polyraptor/internal/sweep"
+)
+
+// tinyArgs keeps CLI smoke tests sub-second.
+func tinyArgs(extra ...string) []string {
+	base := []string{
+		"-k", "4", "-bytes", "32768", "-senders", "4",
+		"-objects", "8", "-requests", "20", "-seeds", "2",
+	}
+	return append(base, extra...)
+}
+
+// TestRunSmokeTable drives the default table path in-process.
+func TestRunSmokeTable(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run(tinyArgs("-scenarios", "incast", "-backends", "rq,tcp"), &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errw.String())
+	}
+	s := out.String()
+	for _, want := range []string{"sweep: 2 cells x 2 seeds", "incast/polyraptor", "incast/tcp", "goodput_gbps", "±CI95"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(errw.String(), "4 runs") {
+		t.Fatalf("stderr missing run count: %s", errw.String())
+	}
+}
+
+// TestRunJSONParallelIdentical: the CLI's acceptance property — JSON
+// on stdout is byte-identical at -parallel 1 and the default pool.
+func TestRunJSONParallelIdentical(t *testing.T) {
+	runJSON := func(parallel string) string {
+		var out, errw bytes.Buffer
+		code := run(tinyArgs("-scenarios", "incast,storage", "-backends", "rq,tcp",
+			"-seeds", "5", "-format", "json", "-parallel", parallel), &out, &errw)
+		if code != 0 {
+			t.Fatalf("run(-parallel %s) exited %d: %s", parallel, code, errw.String())
+		}
+		return out.String()
+	}
+	serial := runJSON("1")
+	parallel := runJSON("0")
+	if serial != parallel {
+		t.Fatalf("JSON differs between -parallel 1 and -parallel 0:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	var res sweep.Result
+	if err := json.Unmarshal([]byte(serial), &res); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+	if len(res.Cells) != 4 || res.Seeds != 5 {
+		t.Fatalf("decoded %d cells x %d seeds, want 4 x 5", len(res.Cells), res.Seeds)
+	}
+}
+
+// TestRunCSV: CSV has a header and one row per (cell, metric).
+func TestRunCSV(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run(tinyArgs("-scenarios", "incast", "-backends", "rq", "-format", "csv"), &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errw.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d, want header + 1 row:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "scenario,backend,params,metric,n,mean,ci95") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "incast,polyraptor,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+// TestRunRejectsBadFlags: every malformed invocation fails fast with
+// exit code 2, before any simulation runs.
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scenarios", "figure9"},
+		{"-backends", "quic"},
+		{"-backends", ","},
+		{"-scenarios", ","},
+		{"-seeds", "0"},
+		{"-format", "yaml"},
+		{"-k", "5"},
+		{"-k", "4", "-senders", "99", "-scenarios", "incast"},
+		{"-k", "4", "-replicas", "99", "-scenarios", "fig1a"},
+		{"-k", "4", "-replicas", "50", "-scenarios", "storage"},
+		{"-fail", "meteor"},
+		{"-nope"},
+	} {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code == 0 {
+			t.Fatalf("run(%v) succeeded, want failure; stderr: %s", args, errw.String())
+		}
+	}
+}
+
+// TestParseScenariosAll: "all" covers every canned scenario plus the
+// ablation bundle.
+func TestParseScenariosAll(t *testing.T) {
+	got, err := parseScenarios("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[len(got)-1] != "ablations" {
+		t.Fatalf("parseScenarios(all) = %v", got)
+	}
+}
+
+// TestRunHelpExitsZero: -h prints usage and exits 0.
+func TestRunHelpExitsZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-h) exited %d, want 0", code)
+	}
+	if !strings.Contains(errw.String(), "Usage") {
+		t.Fatalf("help output missing usage: %s", errw.String())
+	}
+}
+
+// TestRunAblationsBackendNote: selecting a non-rq backend with the
+// ablations scenario is called out instead of silently ignored.
+func TestRunAblationsBackendNote(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-scenarios", "ablations", "-backends", "tcp", "-k", "4", "-seeds", "1"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "rq backend") {
+		t.Fatalf("stderr missing ablation backend note: %s", errw.String())
+	}
+}
+
+// TestRunRejectsSmallFabricForAblations: a k=2 fabric cannot host the
+// 12-sender A1 incast; this used to spin the peer picker forever.
+func TestRunRejectsSmallFabricForAblations(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-scenarios", "ablations", "-k", "2", "-seeds", "1"}, &out, &errw); code != 2 {
+		t.Fatalf("run exited %d, want 2; stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "out-of-rack") {
+		t.Fatalf("error missing fabric bound: %s", errw.String())
+	}
+}

@@ -1,10 +1,13 @@
 // Incast (Figure 1c pattern): N synchronized servers each send a
 // short block to one aggregator — the classic partition-aggregate
 // pathology. The example sweeps N for Polyraptor and TCP on the same
-// fat-tree and prints the aggregate goodput side by side: TCP
-// collapses (timeouts dominate), Polyraptor holds near line rate
-// because the receiver's single pull queue paces all sessions jointly
-// and overloaded queues trim instead of dropping.
+// fat-tree through the sweep engine: every (protocol, N) point is one
+// cell repeated over SplitMix-derived sub-seeds on the parallel worker
+// pool, so the repetitions are statistically independent and the whole
+// table takes about as long as its slowest single cell. TCP collapses
+// (timeouts dominate), Polyraptor holds near line rate because the
+// receiver's single pull queue paces all sessions jointly and
+// overloaded queues trim instead of dropping.
 //
 // Run with:
 //
@@ -13,30 +16,63 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"log"
+	"os"
 
 	"polyraptor/internal/harness"
+	"polyraptor/internal/sweep"
 )
 
 func main() {
-	opt := harness.DefaultIncastOptions()
-	opt.FatTreeK = 6 // 54 hosts: enough for 40 senders, fast to run
-	opt.Repetitions = 3
-	senders := []int{2, 5, 10, 20, 30, 40}
-	block := int64(70 << 10)
-
-	fmt.Printf("incast on a k=%d fat-tree, %d KB per sender, %d repetitions\n\n",
-		opt.FatTreeK, block>>10, opt.Repetitions)
-	fmt.Printf("%8s %14s %14s %10s\n", "senders", "RQ (Gbps)", "TCP (Gbps)", "RQ/TCP")
-	for _, n := range senders {
-		var rq, tcp float64
-		for rep := 0; rep < opt.Repetitions; rep++ {
-			seed := int64(1 + rep*1000)
-			rq += harness.RunIncastRQ(opt, n, block, seed)
-			tcp += harness.RunIncastTCP(opt, n, block, seed)
-		}
-		rq /= float64(opt.Repetitions)
-		tcp /= float64(opt.Repetitions)
-		fmt.Printf("%8d %14.3f %14.3f %9.1fx\n", n, rq, tcp, rq/tcp)
+	// k=6 -> 54 hosts: enough for 40 senders, fast to run.
+	if err := demo(os.Stdout, 6, []int{2, 5, 10, 20, 30, 40}, 70<<10, 3, 0); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("\nPolyraptor is incast-free: pull pacing + packet trimming + rateless symbols.")
+}
+
+// demo sweeps sender counts for Polyraptor and TCP, `reps` seeds per
+// point, and prints mean goodput with 95% confidence half-widths.
+func demo(w io.Writer, k int, senders []int, block int64, reps, parallelism int) error {
+	opt := harness.IncastOptions{FatTreeK: k, Trimming: true}
+	var cells []sweep.Cell
+	for _, n := range senders {
+		for _, proto := range []string{"rq", "tcp"} {
+			n, proto := n, proto
+			cells = append(cells, sweep.Cell{
+				Scenario: "incast",
+				Backend:  proto,
+				Params:   map[string]string{"senders": fmt.Sprint(n)},
+				Runner: sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
+					var g float64
+					if proto == "rq" {
+						g = harness.RunIncastRQ(opt, n, block, seed)
+					} else {
+						g = harness.RunIncastTCP(opt, n, block, seed)
+					}
+					return sweep.Metrics{"goodput_gbps": g}, nil
+				}),
+			})
+		}
+	}
+	res, err := sweep.Matrix{Cells: cells, Seeds: reps, BaseSeed: 1, Parallelism: parallelism}.Run()
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "incast on a k=%d fat-tree, %d KB per sender, %d independent seeds per point\n\n",
+		k, block>>10, reps)
+	fmt.Fprintf(w, "%8s %10s %7s %10s %7s %10s\n", "senders", "RQ (Gbps)", "±CI95", "TCP (Gbps)", "±CI95", "RQ/TCP")
+	for i, n := range senders {
+		rqCell, tcpCell := res.Cells[2*i], res.Cells[2*i+1]
+		if len(rqCell.Errors) > 0 || len(tcpCell.Errors) > 0 {
+			return fmt.Errorf("incast n=%d failed: %v %v", n, rqCell.Errors, tcpCell.Errors)
+		}
+		rq, _ := rqCell.Metric("goodput_gbps")
+		tcp, _ := tcpCell.Metric("goodput_gbps")
+		fmt.Fprintf(w, "%8d %10.3f %7.3f %10.3f %7.3f %9.1fx\n",
+			n, rq.Mean, rq.CI95, tcp.Mean, tcp.CI95, rq.Mean/tcp.Mean)
+	}
+	fmt.Fprintln(w, "\nPolyraptor is incast-free: pull pacing + packet trimming + rateless symbols.")
+	return nil
 }

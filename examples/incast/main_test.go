@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDemo sweeps a tiny sender range on a k=4 fabric, parallel and
+// serial, and checks the outputs agree (derived sub-seeds make the
+// table independent of scheduling).
+func TestDemo(t *testing.T) {
+	render := func(parallelism int) string {
+		var out bytes.Buffer
+		if err := demo(&out, 4, []int{2, 4}, 32<<10, 2, parallelism); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	serial := render(1)
+	parallel := render(0)
+	if serial != parallel {
+		t.Fatalf("serial and parallel tables differ:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	for _, want := range []string{"senders", "RQ (Gbps)", "±CI95", "incast-free"} {
+		if !strings.Contains(serial, want) {
+			t.Fatalf("output missing %q:\n%s", want, serial)
+		}
+	}
+}

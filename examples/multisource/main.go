@@ -13,41 +13,50 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
+	"os"
 	"time"
 
 	"polyraptor"
 )
 
 func main() {
-	object := make([]byte, 2<<20)
-	rand.New(rand.NewSource(3)).Read(object)
-	fmt.Printf("object: %d bytes, replicated on 3 servers\n", len(object))
+	if err := demo(os.Stdout, 2<<20, 3); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	// Three independent replica servers (real UDP sockets).
-	var servers []*polyraptor.Server
+// demo replicates an object of objectBytes across `replicas` loopback
+// UDP servers and fetches it from all of them at once.
+func demo(w io.Writer, objectBytes, replicas int) error {
+	object := make([]byte, objectBytes)
+	rand.New(rand.NewSource(3)).Read(object)
+	fmt.Fprintf(w, "object: %d bytes, replicated on %d servers\n", len(object), replicas)
+
+	// Independent replica servers (real UDP sockets).
 	var remotes []net.Addr
-	for i := 0; i < 3; i++ {
+	for i := 0; i < replicas; i++ {
 		conn, err := net.ListenPacket("udp", "127.0.0.1:0")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		srv, err := polyraptor.NewServer(conn, object, polyraptor.DefaultTransportConfig())
 		if err != nil {
-			log.Fatal(err)
+			conn.Close()
+			return err
 		}
 		go srv.Serve()
 		defer srv.Close()
-		servers = append(servers, srv)
 		remotes = append(remotes, srv.Addr())
-		fmt.Printf("  replica %d serving on %s\n", i, srv.Addr())
+		fmt.Fprintf(w, "  replica %d serving on %s\n", i, srv.Addr())
 	}
 
 	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer conn.Close()
 
@@ -56,13 +65,14 @@ func main() {
 	start := time.Now()
 	got, err := polyraptor.FetchMultiSource(ctx, conn, remotes, 99, polyraptor.DefaultTransportConfig())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	el := time.Since(start)
 	if !bytes.Equal(got, object) {
-		log.Fatal("multi-source fetch corrupted the object")
+		return fmt.Errorf("multi-source fetch corrupted the object")
 	}
-	fmt.Printf("fetched %d bytes from 3 sources in %v (%.0f Mbit/s), bit-exact\n",
-		len(got), el.Round(time.Millisecond), float64(len(got)*8)/el.Seconds()/1e6)
-	fmt.Println("every symbol was unique by construction: partitioned source ranges + disjoint repair ESI residues")
+	fmt.Fprintf(w, "fetched %d bytes from %d sources in %v (%.0f Mbit/s), bit-exact\n",
+		len(got), replicas, el.Round(time.Millisecond), float64(len(got)*8)/el.Seconds()/1e6)
+	fmt.Fprintln(w, "every symbol was unique by construction: partitioned source ranges + disjoint repair ESI residues")
+	return nil
 }

@@ -1,0 +1,21 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDemo fetches a small object from three loopback replicas.
+func TestDemo(t *testing.T) {
+	var out bytes.Buffer
+	if err := demo(&out, 256<<10, 3); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"replicated on 3 servers", "bit-exact"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}

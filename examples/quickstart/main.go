@@ -11,36 +11,42 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
 	"net"
+	"os"
 	"time"
 
 	"polyraptor"
 )
 
 func main() {
-	codecDemo()
-	transportDemo()
+	if err := codecDemo(os.Stdout, 200_000); err != nil {
+		log.Fatal(err)
+	}
+	if err := transportDemo(os.Stdout, 500_000); err != nil {
+		log.Fatal(err)
+	}
 }
 
-// codecDemo encodes an object, "loses" a third of the source symbols,
-// repairs with fresh symbols, and verifies the decode.
-func codecDemo() {
-	object := make([]byte, 200_000)
+// codecDemo encodes an object of `size` bytes, "loses" a third of the
+// source symbols, repairs with fresh symbols, and verifies the decode.
+func codecDemo(w io.Writer, size int) error {
+	object := make([]byte, size)
 	rand.New(rand.NewSource(7)).Read(object)
 
 	enc, err := polyraptor.EncodeObject(object, 1024, 256)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	layout := enc.Layout()
-	fmt.Printf("codec: %d bytes -> %d block(s), %d source symbols\n",
+	fmt.Fprintf(w, "codec: %d bytes -> %d block(s), %d source symbols\n",
 		len(object), layout.Z(), layout.TotalSymbols())
 
 	dec, err := polyraptor.NewObjectDecoder(layout)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	rng := rand.New(rand.NewSource(1))
 	lost := 0
@@ -51,7 +57,7 @@ func codecDemo() {
 				continue
 			}
 			if _, err := dec.AddSymbol(sbn, uint32(esi), enc.Symbol(sbn, uint32(esi))); err != nil {
-				log.Fatal(err)
+				return err
 			}
 		}
 	}
@@ -65,7 +71,7 @@ func codecDemo() {
 				break
 			}
 			if _, err := dec.AddSymbol(sbn, esi, enc.Symbol(sbn, esi)); err != nil {
-				log.Fatal(err)
+				return err
 			}
 			repair++
 			esi++
@@ -73,34 +79,35 @@ func codecDemo() {
 	}
 	got, err := dec.Object()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if !bytes.Equal(got, object) {
-		log.Fatal("decode mismatch")
+		return fmt.Errorf("decode mismatch")
 	}
-	fmt.Printf("codec: lost %d source symbols, repaired with %d fresh symbols — bit-exact\n\n", lost, repair)
+	fmt.Fprintf(w, "codec: lost %d source symbols, repaired with %d fresh symbols — bit-exact\n\n", lost, repair)
+	return nil
 }
 
-// transportDemo serves an object on loopback UDP and fetches it with
-// the receiver-driven protocol.
-func transportDemo() {
-	object := make([]byte, 500_000)
+// transportDemo serves an object of `size` bytes on loopback UDP and
+// fetches it with the receiver-driven protocol.
+func transportDemo(w io.Writer, size int) error {
+	object := make([]byte, size)
 	rand.New(rand.NewSource(8)).Read(object)
 
 	srvConn, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	srv, err := polyraptor.NewServer(srvConn, object, polyraptor.DefaultTransportConfig())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	go srv.Serve()
 	defer srv.Close()
 
 	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer conn.Close()
 
@@ -109,12 +116,13 @@ func transportDemo() {
 	start := time.Now()
 	got, err := polyraptor.Fetch(ctx, conn, srv.Addr(), 1, polyraptor.DefaultTransportConfig())
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if !bytes.Equal(got, object) {
-		log.Fatal("transport corrupted object")
+		return fmt.Errorf("transport corrupted object")
 	}
 	el := time.Since(start)
-	fmt.Printf("transport: fetched %d bytes over UDP in %v (%.0f Mbit/s)\n",
+	fmt.Fprintf(w, "transport: fetched %d bytes over UDP in %v (%.0f Mbit/s)\n",
 		len(got), el.Round(time.Millisecond), float64(len(got)*8)/el.Seconds()/1e6)
+	return nil
 }

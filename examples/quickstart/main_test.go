@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCodecDemo runs the encode/lose/repair/decode loop on a small
+// object.
+func TestCodecDemo(t *testing.T) {
+	var out bytes.Buffer
+	if err := codecDemo(&out, 20_000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "bit-exact") {
+		t.Fatalf("output missing verification line:\n%s", out.String())
+	}
+}
+
+// TestTransportDemo fetches a small object over loopback UDP.
+func TestTransportDemo(t *testing.T) {
+	var out bytes.Buffer
+	if err := transportDemo(&out, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "fetched 100000 bytes") {
+		t.Fatalf("output missing fetch line:\n%s", out.String())
+	}
+}

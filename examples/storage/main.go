@@ -5,7 +5,8 @@
 // (many-to-one multi-source fetches) and PUTs (one-to-many multicast
 // replication), and a rack failure mid-run whose re-replication storm
 // the cluster must absorb. The same workload runs over Polyraptor and
-// the TCP multi-unicast baseline, and the contrast is printed.
+// the TCP multi-unicast baseline — in parallel, one fabric each — and
+// the contrast is printed.
 //
 // Run with:
 //
@@ -14,7 +15,9 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"polyraptor/internal/harness"
 	"polyraptor/internal/store"
@@ -28,34 +31,45 @@ func main() {
 	cfg.Requests = 300
 	cfg.FailMode = store.FailRack
 
-	fmt.Printf("PolyStore: %d objects x %d MB, R=%d, zipf %.1f, on %d hosts; rack failure mid-run\n\n",
-		cfg.Objects, cfg.ObjectBytes>>20, cfg.Replicas, cfg.ZipfSkew, cfg.Hosts())
+	if err := demo(os.Stdout, cfg); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// demo runs the cluster under Polyraptor and TCP and prints each
+// backend's goodput, tail latency and recovery summary.
+func demo(w io.Writer, cfg store.Config) error {
+	fmt.Fprintf(w, "PolyStore: %d objects x %d MB, R=%d, zipf %.1f, on %d hosts; %v failure mid-run\n\n",
+		cfg.Objects, cfg.ObjectBytes>>20, cfg.Replicas, cfg.ZipfSkew, cfg.Hosts(), cfg.FailMode)
 
 	runs, err := harness.RunStorageCluster(harness.StorageOptions{
 		Cluster:  cfg,
 		Backends: []store.BackendKind{store.BackendPolyraptor, store.BackendTCP},
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	for _, r := range runs {
 		rec := r.Result.Recovery
-		fmt.Printf("%s:\n", r.Backend)
-		fmt.Printf("  GETs: %.3f Gbps mean, FCT p50 %.2f ms / p99 %.2f ms (%d served)\n",
+		fmt.Fprintf(w, "%s:\n", r.Backend)
+		fmt.Fprintf(w, "  GETs: %.3f Gbps mean, FCT p50 %.2f ms / p99 %.2f ms (%d served)\n",
 			r.GetGoodput.Mean, r.GetFCT.P50*1e3, r.GetFCT.P99*1e3, r.GetFCT.N)
-		fmt.Printf("  PUTs: %.3f Gbps mean session goodput (%d x %d-way replication)\n",
+		fmt.Fprintf(w, "  PUTs: %.3f Gbps mean session goodput (%d x %d-way replication)\n",
 			r.PutGoodput.Mean, r.PutFCT.N, cfg.Replicas)
-		fmt.Printf("  rack failure: %d replicas lost, %d repaired, full replication after %v\n",
-			rec.LostReplicas, rec.Repaired, rec.Duration())
+		if rec.Mode != store.FailNone {
+			fmt.Fprintf(w, "  %v failure: %d replicas lost, %d repaired, full replication after %v\n",
+				rec.Mode, rec.LostReplicas, rec.Repaired, rec.Duration())
+		}
 		if ratio, ok := r.Interference(); ok {
-			fmt.Printf("  storm interference: GET latency %.2f ms -> %.2f ms (%.2fx)\n",
+			fmt.Fprintf(w, "  storm interference: GET latency %.2f ms -> %.2f ms (%.2fx)\n",
 				r.GetFCTBefore.Mean*1e3, r.GetFCTDuring.Mean*1e3, ratio)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 
-	fmt.Println("Polyraptor sends one coded multicast stream per PUT and pulls each GET")
-	fmt.Println("from all replicas at once; TCP pushes R full copies and fetches 1/R")
-	fmt.Println("shares over hash-pinned paths — the gap above is the paper's argument.")
+	fmt.Fprintln(w, "Polyraptor sends one coded multicast stream per PUT and pulls each GET")
+	fmt.Fprintln(w, "from all replicas at once; TCP pushes R full copies and fetches 1/R")
+	fmt.Fprintln(w, "shares over hash-pinned paths — the gap above is the paper's argument.")
+	return nil
 }

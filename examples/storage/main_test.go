@@ -1,0 +1,27 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"polyraptor/internal/store"
+)
+
+// TestDemo runs the storage contrast on a tiny cluster.
+func TestDemo(t *testing.T) {
+	cfg := store.ShortConfig()
+	cfg.Objects = 8
+	cfg.ObjectBytes = 64 << 10
+	cfg.Requests = 30
+	var out bytes.Buffer
+	if err := demo(&out, cfg); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"PolyStore:", "polyraptor:", "tcp:", "GETs:", "PUTs:"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"polyraptor/internal/polyraptor"
 	"polyraptor/internal/sim"
 	"polyraptor/internal/stats"
+	"polyraptor/internal/sweep"
 	"polyraptor/internal/tcpsim"
 	"polyraptor/internal/topology"
 	"polyraptor/internal/workload"
@@ -161,14 +162,24 @@ func RunFig1RQ(sc Scale, pattern Pattern, replicas int) []float64 {
 // the multicast pattern, uncoordinated 1/R partial fetches for the
 // multi-source pattern. Returns ranked per-session goodputs.
 func RunFig1TCP(sc Scale, pattern Pattern, replicas int) []float64 {
+	return runFig1TCPWith(sc, pattern, replicas, tcpsim.DefaultConfig(), 0)
+}
+
+// runFig1TCPWith is RunFig1TCP parameterised over the congestion
+// control and switch ECN threshold, so the DCTCP baseline reuses the
+// same workload and reduction.
+func runFig1TCPWith(sc Scale, pattern Pattern, replicas int, tcfg tcpsim.Config, ecn int) []float64 {
 	ncfg := netsim.DefaultConfig()
 	ncfg.Seed = sc.Seed
 	ncfg.Trimming = false // TCP runs on classic drop-tail switches
+	if ecn > 0 {
+		ncfg.ECNThreshold = ecn
+	}
 	ft, err := topology.NewFatTree(sc.FatTreeK, ncfg)
 	if err != nil {
 		panic(err)
 	}
-	sys := tcpsim.NewSystem(ft.Net, tcpsim.DefaultConfig())
+	sys := tcpsim.NewSystem(ft.Net, tcfg)
 	sessions := workload.Generate(sc.workloadConfig(ncfg.LinkRate, pattern, replicas), ft)
 
 	goodputs := make([]float64, 0, len(sessions))
@@ -234,25 +245,34 @@ func Figure1b(sc Scale, maxPoints int) []FigureSeries {
 }
 
 func figure1(sc Scale, pattern Pattern, maxPoints int, noun string) []FigureSeries {
-	var out []FigureSeries
-	for _, r := range []int{1, 3} {
+	// The four curves are independent simulations; run them on the
+	// sweep worker pool, each writing its pre-assigned slot so the
+	// series order (and content) is identical to the serial loop.
+	type arm struct {
+		replicas int
+		proto    string
+	}
+	arms := []arm{{1, "RQ"}, {1, "TCP"}, {3, "RQ"}, {3, "TCP"}}
+	out := make([]FigureSeries, len(arms))
+	sweep.ForEach(len(arms), 0, func(i int) {
+		a := arms[i]
 		plural := ""
-		if r > 1 {
+		if a.replicas > 1 {
 			plural = "s"
 		}
-		rq := stats.Downsample(RunFig1RQ(sc, pattern, r), maxPoints)
-		out = append(out, FigureSeries{
-			Label: fmt.Sprintf("%d %s%s RQ", r, noun, plural),
-			X:     ranksFor(len(rq), sc.Sessions),
-			Y:     rq,
-		})
-		tcp := stats.Downsample(RunFig1TCP(sc, pattern, r), maxPoints)
-		out = append(out, FigureSeries{
-			Label: fmt.Sprintf("%d %s%s TCP", r, noun, plural),
-			X:     ranksFor(len(tcp), sc.Sessions),
-			Y:     tcp,
-		})
-	}
+		var ys []float64
+		if a.proto == "RQ" {
+			ys = RunFig1RQ(sc, pattern, a.replicas)
+		} else {
+			ys = RunFig1TCP(sc, pattern, a.replicas)
+		}
+		ys = stats.Downsample(ys, maxPoints)
+		out[i] = FigureSeries{
+			Label: fmt.Sprintf("%d %s%s %s", a.replicas, noun, plural, a.proto),
+			X:     ranksFor(len(ys), sc.Sessions),
+			Y:     ys,
+		}
+	})
 	return out
 }
 
@@ -274,13 +294,19 @@ type IncastOptions struct {
 	SenderCounts []int
 	// BytesPerSender are the block-size series (paper: 256 KB, 70 KB).
 	BytesPerSender []int64
-	// Repetitions is the number of seeds (paper: 5).
+	// Repetitions is the number of seeds (paper: 5). Each repetition
+	// runs under its own SplitMix-derived sub-seed (sweep.SubSeed), so
+	// repetition streams are statistically independent.
 	Repetitions int
 	// Seed is the base seed.
 	Seed int64
 	// Trimming can be set false for ablation A1 (Polyraptor without
 	// packet trimming).
 	Trimming bool
+	// Parallelism caps concurrent (point, repetition) runs in
+	// Figure1c; <= 0 means GOMAXPROCS. Results are byte-identical at
+	// any setting.
+	Parallelism int
 }
 
 // DefaultIncastOptions mirrors Figure 1c at a fabric size that still
@@ -399,24 +425,58 @@ func RunIncastDCTCP(opt IncastOptions, senders int, bytes int64, seed int64) flo
 
 // Figure1c returns mean goodput with 95% CI error bars versus sender
 // count, one series per (protocol, block size) — the paper's Figure 1c.
+// Every (block size, protocol, sender count) point is one sweep cell
+// run over Repetitions derived sub-seeds on the worker pool; the same
+// repetition uses the same sub-seed for every point, so protocols are
+// compared on paired workload draws.
 func Figure1c(opt IncastOptions) []FigureSeries {
-	var out []FigureSeries
+	protos := []string{"RQ", "TCP"}
+	var cells []sweep.Cell
 	for _, bytes := range opt.BytesPerSender {
-		for _, proto := range []string{"RQ", "TCP"} {
+		for _, proto := range protos {
+			for _, n := range opt.SenderCounts {
+				bytes, proto, n := bytes, proto, n
+				cells = append(cells, sweep.Cell{
+					Scenario: "incast",
+					Backend:  proto,
+					Runner: sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
+						var g float64
+						if proto == "RQ" {
+							g = RunIncastRQ(opt, n, bytes, seed)
+						} else {
+							g = RunIncastTCP(opt, n, bytes, seed)
+						}
+						return sweep.Metrics{"goodput_gbps": g}, nil
+					}),
+				})
+			}
+		}
+	}
+	res, err := sweep.Matrix{
+		Cells:       cells,
+		Seeds:       opt.Repetitions,
+		BaseSeed:    opt.Seed,
+		Parallelism: opt.Parallelism,
+	}.Run()
+	if err != nil {
+		panic(fmt.Sprintf("harness: incast sweep: %v", err))
+	}
+
+	var out []FigureSeries
+	i := 0
+	for _, bytes := range opt.BytesPerSender {
+		for _, proto := range protos {
 			se := FigureSeries{Label: fmt.Sprintf("%s %dKB", proto, bytes>>10)}
 			for _, n := range opt.SenderCounts {
-				var samples []float64
-				for rep := 0; rep < opt.Repetitions; rep++ {
-					seed := opt.Seed + int64(rep)*1000
-					if proto == "RQ" {
-						samples = append(samples, RunIncastRQ(opt, n, bytes, seed))
-					} else {
-						samples = append(samples, RunIncastTCP(opt, n, bytes, seed))
-					}
+				a, ok := res.Cells[i].Metric("goodput_gbps")
+				if !ok {
+					panic(fmt.Sprintf("harness: incast point %s n=%d failed: %v",
+						proto, n, res.Cells[i].Errors))
 				}
 				se.X = append(se.X, float64(n))
-				se.Y = append(se.Y, stats.Mean(samples))
-				se.YErr = append(se.YErr, stats.CI95(samples))
+				se.Y = append(se.Y, a.Mean)
+				se.YErr = append(se.YErr, a.CI95)
+				i++
 			}
 			out = append(out, se)
 		}

@@ -5,6 +5,7 @@ import (
 
 	"polyraptor/internal/stats"
 	"polyraptor/internal/store"
+	"polyraptor/internal/sweep"
 )
 
 // StorageOptions parametrises the storage-cluster experiment: one
@@ -16,6 +17,10 @@ type StorageOptions struct {
 	Cluster store.Config
 	// Backends are the transports to compare.
 	Backends []store.BackendKind
+	// Parallelism caps concurrent backend runs; <= 0 means GOMAXPROCS.
+	// Each backend simulates on its own fabric, so results are
+	// identical at any setting.
+	Parallelism int
 }
 
 // DefaultStorageOptions compares Polyraptor against both baselines on
@@ -73,24 +78,39 @@ func RunStorageCluster(opt StorageOptions) ([]StorageRun, error) {
 	if len(opt.Backends) == 0 {
 		return nil, fmt.Errorf("harness: no backends selected")
 	}
-	out := make([]StorageRun, 0, len(opt.Backends))
-	for _, be := range opt.Backends {
+	// Backend runs are independent simulations on separate fabrics;
+	// run them on the sweep worker pool, slotted by index so the
+	// output order matches opt.Backends regardless of scheduling.
+	out := make([]StorageRun, len(opt.Backends))
+	errs := make([]error, len(opt.Backends))
+	sweep.ForEach(len(opt.Backends), opt.Parallelism, func(i int) {
 		cfg := opt.Cluster
-		cfg.Backend = be
+		cfg.Backend = opt.Backends[i]
 		res, err := store.Run(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("harness: storage backend %v: %w", be, err)
+			errs[i] = fmt.Errorf("harness: storage backend %v: %w", opt.Backends[i], err)
+			return
 		}
-		out = append(out, StorageRun{
-			Backend:      be.String(),
-			GetFCT:       stats.Summarize(res.GetFCTs()),
-			PutFCT:       stats.Summarize(res.PutFCTs()),
-			GetGoodput:   stats.Summarize(res.GetGoodputs()),
-			PutGoodput:   stats.Summarize(res.PutGoodputs()),
-			GetFCTBefore: stats.Summarize(store.FCTs(res.GetsBeforeFailure())),
-			GetFCTDuring: stats.Summarize(store.FCTs(res.GetsDuringRecovery())),
-			Result:       res,
-		})
+		out[i] = newStorageRun(res)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
+}
+
+// newStorageRun reduces one raw run to the summaries reports print.
+func newStorageRun(res *store.Result) StorageRun {
+	return StorageRun{
+		Backend:      res.Backend.String(),
+		GetFCT:       stats.Summarize(res.GetFCTs()),
+		PutFCT:       stats.Summarize(res.PutFCTs()),
+		GetGoodput:   stats.Summarize(res.GetGoodputs()),
+		PutGoodput:   stats.Summarize(res.PutGoodputs()),
+		GetFCTBefore: stats.Summarize(store.FCTs(res.GetsBeforeFailure())),
+		GetFCTDuring: stats.Summarize(store.FCTs(res.GetsDuringRecovery())),
+		Result:       res,
+	}
 }

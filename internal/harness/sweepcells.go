@@ -1,0 +1,260 @@
+package harness
+
+import (
+	"fmt"
+	"strconv"
+
+	"polyraptor/internal/stats"
+	"polyraptor/internal/store"
+	"polyraptor/internal/sweep"
+	"polyraptor/internal/tcpsim"
+)
+
+// Sweep cells: every experiment the harness knows how to run —
+// Figure 1a/1b workloads, the incast pattern, the storage cluster and
+// the DESIGN.md ablations — expressed behind the one sweep.Runner
+// interface, so cmd/polysweep (and the -runs flags of the other CLIs)
+// can execute any backend x scenario x seed matrix on the worker pool.
+
+// SweepParams sizes the canned sweep scenarios. The zero value is not
+// useful; start from DefaultSweepParams.
+type SweepParams struct {
+	// FatTreeK is the fabric arity for the figure scenarios.
+	FatTreeK int
+	// Bytes is the object size (per sender for incast).
+	Bytes int64
+	// Replicas is the replica/sender count for fig1a/fig1b.
+	Replicas int
+	// Senders is the incast fan-in.
+	Senders int
+	// Sessions is the fig1a/fig1b session count.
+	Sessions int
+	// LoadFactor is the fig1a/fig1b offered-load fraction.
+	LoadFactor float64
+	// Trimming enables NDP packet trimming for the Polyraptor backend.
+	Trimming bool
+	// Store is the storage-cluster template; its Backend and Seed are
+	// overridden per run.
+	Store store.Config
+}
+
+// DefaultSweepParams returns test-sized scenario parameters (a k=4
+// fabric, sub-second cells) — the CLI scales them up via flags.
+func DefaultSweepParams() SweepParams {
+	return SweepParams{
+		FatTreeK:   4,
+		Bytes:      256 << 10,
+		Replicas:   3,
+		Senders:    8,
+		Sessions:   80,
+		LoadFactor: 0.33,
+		Trimming:   true,
+		Store:      store.ShortConfig(),
+	}
+}
+
+// SweepScenarios lists the scenario names NewSweepCell accepts, plus
+// the "ablations" bundle expanded by AblationCells.
+func SweepScenarios() []string {
+	return []string{"fig1a", "fig1b", "incast", "storage"}
+}
+
+// scale builds the Fig1 Scale for one run seed.
+func (p SweepParams) scale(seed int64) Scale {
+	return Scale{
+		FatTreeK:   p.FatTreeK,
+		Sessions:   p.Sessions,
+		Bytes:      p.Bytes,
+		LoadFactor: p.LoadFactor,
+		Seed:       seed,
+	}
+}
+
+// NewSweepCell builds the sweep cell for one scenario x backend point.
+// Unknown scenarios and unsupported combinations are errors, reported
+// before anything runs.
+func NewSweepCell(scenario string, backend store.BackendKind, p SweepParams) (sweep.Cell, error) {
+	cell := sweep.Cell{Scenario: scenario, Backend: backend.String()}
+	switch scenario {
+	case "fig1a", "fig1b":
+		pattern := PatternMulticast
+		if scenario == "fig1b" {
+			pattern = PatternMultiSource
+		}
+		cell.Params = map[string]string{
+			"k":        strconv.Itoa(p.FatTreeK),
+			"replicas": strconv.Itoa(p.Replicas),
+			"sessions": strconv.Itoa(p.Sessions),
+		}
+		cell.Runner = sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
+			var goodputs []float64
+			if backend == store.BackendPolyraptor {
+				goodputs = RunFig1RQ(p.scale(seed), pattern, p.Replicas)
+			} else {
+				goodputs = runFig1Baseline(p.scale(seed), pattern, p.Replicas, backend)
+			}
+			return sessionMetrics(goodputs), nil
+		})
+	case "incast":
+		cell.Params = map[string]string{
+			"k":       strconv.Itoa(p.FatTreeK),
+			"senders": strconv.Itoa(p.Senders),
+			"bytes":   strconv.FormatInt(p.Bytes, 10),
+		}
+		opt := IncastOptions{FatTreeK: p.FatTreeK, Trimming: p.Trimming}
+		cell.Runner = sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
+			var g float64
+			switch backend {
+			case store.BackendPolyraptor:
+				g = RunIncastRQ(opt, p.Senders, p.Bytes, seed)
+			case store.BackendTCP:
+				g = RunIncastTCP(opt, p.Senders, p.Bytes, seed)
+			case store.BackendDCTCP:
+				g = RunIncastDCTCP(opt, p.Senders, p.Bytes, seed)
+			default:
+				return nil, fmt.Errorf("harness: incast does not support backend %v", backend)
+			}
+			return sweep.Metrics{"goodput_gbps": g}, nil
+		})
+	case "storage":
+		cfg := p.Store
+		cell.Params = map[string]string{
+			"k":        strconv.Itoa(cfg.FatTreeK),
+			"replicas": strconv.Itoa(cfg.Replicas),
+			"requests": strconv.Itoa(cfg.Requests),
+			"fail":     cfg.FailMode.String(),
+		}
+		if err := validateStorageTemplate(cfg, backend); err != nil {
+			return sweep.Cell{}, err
+		}
+		cell.Runner = sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
+			c := cfg
+			c.Backend = backend
+			c.Seed = seed
+			res, err := store.Run(c)
+			if err != nil {
+				return nil, err
+			}
+			return storageMetrics(res), nil
+		})
+	default:
+		return sweep.Cell{}, fmt.Errorf("harness: unknown sweep scenario %q (have %v)", scenario, SweepScenarios())
+	}
+	return cell, nil
+}
+
+// runFig1Baseline runs the Figure 1 baseline side under the named
+// transport: classic TCP on drop-tail, or DCTCP on ECN-marking
+// drop-tail (K=20).
+func runFig1Baseline(sc Scale, pattern Pattern, replicas int, kind store.BackendKind) []float64 {
+	if kind == store.BackendDCTCP {
+		return runFig1TCPWith(sc, pattern, replicas, tcpsim.DCTCPConfig(), 20)
+	}
+	return runFig1TCPWith(sc, pattern, replicas, tcpsim.DefaultConfig(), 0)
+}
+
+// validateStorageTemplate surfaces impossible storage configs at
+// matrix-build time rather than as per-repetition errors.
+func validateStorageTemplate(cfg store.Config, backend store.BackendKind) error {
+	cfg.Backend = backend
+	cfg.Seed = 1
+	return cfg.Validate()
+}
+
+// sessionMetrics reduces per-session goodputs to the per-run summary a
+// sweep aggregates across seeds.
+func sessionMetrics(goodputs []float64) sweep.Metrics {
+	s := stats.Summarize(goodputs)
+	return sweep.Metrics{
+		"goodput_mean_gbps": s.Mean,
+		"goodput_p50_gbps":  s.P50,
+		"goodput_p99_gbps":  s.P99,
+		"goodput_min_gbps":  s.Min,
+	}
+}
+
+// storageMetrics reduces one storage run to headline scalars (the
+// table columns of cmd/polystore).
+func storageMetrics(res *store.Result) sweep.Metrics {
+	get := stats.Summarize(res.GetFCTs())
+	put := stats.Summarize(res.PutFCTs())
+	m := sweep.Metrics{
+		"get_gbps":      stats.Mean(res.GetGoodputs()),
+		"get_fct_p50_s": get.P50,
+		"get_fct_p99_s": get.P99,
+		"put_gbps":      stats.Mean(res.PutGoodputs()),
+		"put_fct_p99_s": put.P99,
+		"skipped_gets":  float64(res.SkippedGets),
+	}
+	if res.Recovery.Mode != store.FailNone {
+		m["recovery_s"] = res.Recovery.Duration().Seconds()
+	}
+	before := stats.Summarize(store.FCTs(res.GetsBeforeFailure()))
+	during := stats.Summarize(store.FCTs(res.GetsDuringRecovery()))
+	if during.N > 0 && before.Mean > 0 {
+		m["interference_x"] = during.Mean / before.Mean
+	}
+	return m
+}
+
+// AblationCells returns the DESIGN.md A1-A4 ablations as sweep cells.
+// Each cell runs both arms of its ablation per seed and reports them
+// as paired metrics, so the sweep's CI95 covers the per-seed contrast.
+func AblationCells(p SweepParams) []sweep.Cell {
+	k := p.FatTreeK
+	return []sweep.Cell{
+		{
+			Scenario: "ablation-trim", Backend: "rq",
+			Params: map[string]string{"k": strconv.Itoa(k)},
+			Runner: sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
+				r := RunAblationNoTrim(k, 12, 70<<10, seed)
+				return sweep.Metrics{"trim_gbps": r.WithTrim, "notrim_gbps": r.WithoutTrim}, nil
+			}),
+		},
+		{
+			Scenario: "ablation-initwindow", Backend: "rq",
+			Params: map[string]string{"k": strconv.Itoa(k)},
+			Runner: sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
+				r := RunAblationInitialWindow(k, 40<<10, 20, seed)
+				return sweep.Metrics{
+					"fct_window_us":   float64(r.MeanFCTWindow.Microseconds()),
+					"fct_nowindow_us": float64(r.MeanFCTNoWindow.Microseconds()),
+				}, nil
+			}),
+		},
+		{
+			Scenario: "ablation-esi", Backend: "rq",
+			Params: map[string]string{"k": strconv.Itoa(k)},
+			Runner: sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
+				r := RunAblationPartitioning(k, 3, 8, 512<<10, seed)
+				return sweep.Metrics{"partitioned_gbps": r.GoodputPartitioned, "random_gbps": r.GoodputRandom}, nil
+			}),
+		},
+		{
+			Scenario: "ablation-decode", Backend: "rq",
+			Params: map[string]string{"k": strconv.Itoa(k)},
+			Runner: sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
+				r := RunAblationDecodeLatency(k, 512<<10, 2000, 6, seed)
+				return sweep.Metrics{"nolat_gbps": r.GoodputNoLatency, "lat_gbps": r.GoodputWithLatency}, nil
+			}),
+		},
+	}
+}
+
+// StorageSweep runs one cluster template across backends x seeds on
+// the sweep engine — the multi-seed, parallel path behind
+// cmd/polystore's -runs flag.
+func StorageSweep(cfg store.Config, backends []store.BackendKind, seeds, parallelism int) (*sweep.Result, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("harness: no backends selected")
+	}
+	var cells []sweep.Cell
+	for _, be := range backends {
+		cell, err := NewSweepCell("storage", be, SweepParams{Store: cfg})
+		if err != nil {
+			return nil, err
+		}
+		cells = append(cells, cell)
+	}
+	return sweep.Matrix{Cells: cells, Seeds: seeds, BaseSeed: cfg.Seed, Parallelism: parallelism}.Run()
+}

@@ -1,0 +1,208 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"polyraptor/internal/store"
+	"polyraptor/internal/sweep"
+)
+
+// tinySweepParams keeps each cell sub-second while still simulating
+// real transfers on a real fabric.
+func tinySweepParams() SweepParams {
+	p := DefaultSweepParams()
+	p.Senders = 4
+	p.Bytes = 32 << 10
+	p.Sessions = 30
+	st := store.ShortConfig()
+	st.Objects = 8
+	st.ObjectBytes = 64 << 10
+	st.Requests = 30
+	p.Store = st
+	return p
+}
+
+// acceptanceMatrix is the PR's acceptance configuration: 2 backends x
+// 2 scenarios x 5 seeds.
+func acceptanceMatrix(t *testing.T, parallelism int) sweep.Matrix {
+	t.Helper()
+	p := tinySweepParams()
+	var cells []sweep.Cell
+	for _, scenario := range []string{"incast", "storage"} {
+		for _, be := range []store.BackendKind{store.BackendPolyraptor, store.BackendTCP} {
+			cell, err := NewSweepCell(scenario, be, p)
+			if err != nil {
+				t.Fatalf("NewSweepCell(%s, %v): %v", scenario, be, err)
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return sweep.Matrix{Cells: cells, Seeds: 5, BaseSeed: 1, Parallelism: parallelism}
+}
+
+// TestSweepParallelMatchesSerial is the acceptance criterion: a
+// 2-backend x 2-scenario x 5-seed sweep run on the full worker pool
+// produces byte-identical aggregated JSON to the same sweep at
+// parallelism 1. Run under -race in CI.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	serial, err := acceptanceMatrix(t, 1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := acceptanceMatrix(t, 0).Run() // 0 = GOMAXPROCS
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := serial.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := parallel.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Fatalf("parallel sweep JSON differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", sj, pj)
+	}
+	// The sweep must have actually measured something.
+	for _, c := range serial.Cells {
+		if len(c.Errors) > 0 {
+			t.Fatalf("cell %s/%s errored: %v", c.Scenario, c.Backend, c.Errors)
+		}
+		name := "goodput_gbps"
+		if c.Scenario == "storage" {
+			name = "get_gbps"
+		}
+		a, ok := c.Metric(name)
+		if !ok || a.N != 5 || a.Mean <= 0 {
+			t.Fatalf("cell %s/%s metric %s = %+v ok=%v, want N=5 mean>0",
+				c.Scenario, c.Backend, name, a, ok)
+		}
+	}
+}
+
+// TestNewSweepCellFig1 runs the fig1a and fig1b cells for one seed
+// each across all three backends.
+func TestNewSweepCellFig1(t *testing.T) {
+	p := tinySweepParams()
+	for _, scenario := range []string{"fig1a", "fig1b"} {
+		for _, be := range []store.BackendKind{store.BackendPolyraptor, store.BackendTCP, store.BackendDCTCP} {
+			cell, err := NewSweepCell(scenario, be, p)
+			if err != nil {
+				t.Fatalf("NewSweepCell(%s, %v): %v", scenario, be, err)
+			}
+			m, err := cell.Runner.Run(sweep.SubSeed(1, 0))
+			if err != nil {
+				t.Fatalf("%s/%v: %v", scenario, be, err)
+			}
+			if m["goodput_mean_gbps"] <= 0 {
+				t.Fatalf("%s/%v goodput_mean_gbps = %v, want > 0", scenario, be, m)
+			}
+			if m["goodput_p99_gbps"] < m["goodput_p50_gbps"] {
+				t.Fatalf("%s/%v percentiles inverted: %v", scenario, be, m)
+			}
+		}
+	}
+}
+
+// TestNewSweepCellRejectsUnknown: unknown scenarios and impossible
+// storage templates fail at matrix-build time.
+func TestNewSweepCellRejectsUnknown(t *testing.T) {
+	if _, err := NewSweepCell("figure9", store.BackendTCP, tinySweepParams()); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	p := tinySweepParams()
+	p.Store.Replicas = 50 // 51 racks needed, k=4 has 8
+	if _, err := NewSweepCell("storage", store.BackendTCP, p); err == nil {
+		t.Fatal("impossible storage template accepted")
+	}
+}
+
+// TestAblationCells: every ablation cell runs and reports both arms.
+func TestAblationCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation cells are slow")
+	}
+	p := tinySweepParams()
+	cells := AblationCells(p)
+	if len(cells) != 4 {
+		t.Fatalf("AblationCells returned %d cells, want 4", len(cells))
+	}
+	for _, c := range cells {
+		m, err := c.Runner.Run(sweep.SubSeed(1, 0))
+		if err != nil {
+			t.Fatalf("%s: %v", c.Scenario, err)
+		}
+		if len(m) != 2 {
+			t.Fatalf("%s reported %d metrics, want 2 arms: %v", c.Scenario, len(m), m)
+		}
+		for name, v := range m {
+			if v <= 0 {
+				t.Fatalf("%s metric %s = %v, want > 0", c.Scenario, name, v)
+			}
+		}
+	}
+}
+
+// TestStorageSweep: the polystore -runs path aggregates per backend
+// with the shared seed stream.
+func TestStorageSweep(t *testing.T) {
+	p := tinySweepParams()
+	res, err := StorageSweep(p.Store, []store.BackendKind{store.BackendPolyraptor, store.BackendTCP}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(res.Cells))
+	}
+	want := sweep.SubSeeds(p.Store.Seed, 2)
+	for _, c := range res.Cells {
+		if len(c.Seeds) != 2 || c.Seeds[0] != want[0] || c.Seeds[1] != want[1] {
+			t.Fatalf("cell %s seeds = %v, want %v", c.Backend, c.Seeds, want)
+		}
+		if a, ok := c.Metric("get_gbps"); !ok || a.N != 2 {
+			t.Fatalf("cell %s get_gbps = %+v ok=%v", c.Backend, a, ok)
+		}
+	}
+	if out := res.Table(nil); !strings.Contains(out, "storage/polyraptor") {
+		t.Fatalf("table missing cell row:\n%s", out)
+	}
+}
+
+// TestFigure1cSerialParallelIdentical: the figure itself is now a
+// sweep; its series must not depend on parallelism.
+func TestFigure1cSerialParallelIdentical(t *testing.T) {
+	opt := IncastOptions{
+		FatTreeK:       4,
+		SenderCounts:   []int{2, 4},
+		BytesPerSender: []int64{32 << 10},
+		Repetitions:    3,
+		Seed:           1,
+		Trimming:       true,
+	}
+	serialOpt := opt
+	serialOpt.Parallelism = 1
+	parallelOpt := opt
+	parallelOpt.Parallelism = 0
+
+	serial := Figure1c(serialOpt)
+	parallel := Figure1c(parallelOpt)
+	if len(serial) != 2 || len(parallel) != 2 {
+		t.Fatalf("series counts = %d, %d, want 2", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Label != parallel[i].Label {
+			t.Fatalf("labels differ: %q vs %q", serial[i].Label, parallel[i].Label)
+		}
+		for j := range serial[i].Y {
+			if serial[i].Y[j] != parallel[i].Y[j] || serial[i].YErr[j] != parallel[i].YErr[j] {
+				t.Fatalf("series %q point %d differs: %v±%v vs %v±%v",
+					serial[i].Label, j,
+					serial[i].Y[j], serial[i].YErr[j],
+					parallel[i].Y[j], parallel[i].YErr[j])
+			}
+		}
+	}
+}

@@ -68,11 +68,19 @@ func CI95(xs []float64) float64 {
 // Percentile returns the p-th percentile (0..100) using linear
 // interpolation between order statistics.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return PercentileSorted(s, p)
+}
+
+// PercentileSorted is Percentile for a sample already sorted
+// ascending: no copy, no re-sort. Callers that take many percentiles
+// of one sample (sweep aggregation over thousands of cells) sort once
+// and use this.
+func PercentileSorted(s []float64, p float64) float64 {
+	if len(s) == 0 {
+		return 0
+	}
 	return percentileSorted(s, p)
 }
 
@@ -86,13 +94,20 @@ type Summary struct {
 	Max                float64
 }
 
-// Summarize computes a Summary in one pass over a sorted copy.
+// Summarize computes a Summary over a sorted copy of xs.
 func Summarize(xs []float64) Summary {
-	if len(xs) == 0 {
-		return Summary{}
-	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return SummarizeSorted(s)
+}
+
+// SummarizeSorted is Summarize for a sample already sorted ascending:
+// the fast path for callers that have sorted (or can keep) the sample
+// themselves.
+func SummarizeSorted(s []float64) Summary {
+	if len(s) == 0 {
+		return Summary{}
+	}
 	return Summary{
 		N:    len(s),
 		Mean: Mean(s),
@@ -151,8 +166,9 @@ type Series struct {
 }
 
 // RenderTable renders aligned columns: one row per index, one column
-// per series, with the given x-axis labels. Missing points render as
-// "-". The output is the textual equivalent of the paper's figures.
+// per series, with the given x-axis labels. Missing or NaN points
+// render as "-". The output is the textual equivalent of the paper's
+// figures.
 func RenderTable(xLabel string, xs []string, series []Series) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-16s", xLabel)
@@ -163,7 +179,7 @@ func RenderTable(xLabel string, xs []string, series []Series) string {
 	for i, x := range xs {
 		fmt.Fprintf(&b, "%-16s", x)
 		for _, s := range series {
-			if i < len(s.Points) {
+			if i < len(s.Points) && !math.IsNaN(s.Points[i]) {
 				fmt.Fprintf(&b, "%16.4f", s.Points[i])
 			} else {
 				fmt.Fprintf(&b, "%16s", "-")

@@ -2,6 +2,7 @@ package stats
 
 import (
 	"math"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -167,5 +168,82 @@ func TestSummarize(t *testing.T) {
 	}
 	if !(s.P50 < s.P95 && s.P95 < s.P99) {
 		t.Fatalf("percentiles not ordered: %+v", s)
+	}
+}
+
+// TestPercentileSortedEdges pins the boundary behaviour of the sorted
+// fast path: p <= 0 is the minimum, p >= 100 the maximum, a single
+// sample is every percentile, and an empty sample is 0.
+func TestPercentileSortedEdges(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	for _, p := range []float64{-10, 0} {
+		if got := PercentileSorted(s, p); got != 1 {
+			t.Fatalf("PercentileSorted(s, %g) = %g, want 1", p, got)
+		}
+	}
+	for _, p := range []float64{100, 250} {
+		if got := PercentileSorted(s, p); got != 4 {
+			t.Fatalf("PercentileSorted(s, %g) = %g, want 4", p, got)
+		}
+	}
+	one := []float64{7}
+	for _, p := range []float64{-1, 0, 13, 50, 99, 100, 200} {
+		if got := PercentileSorted(one, p); got != 7 {
+			t.Fatalf("PercentileSorted([7], %g) = %g, want 7", p, got)
+		}
+	}
+	if got := PercentileSorted(nil, 50); got != 0 {
+		t.Fatalf("PercentileSorted(nil, 50) = %g, want 0", got)
+	}
+}
+
+// TestPercentileEdges: the copying wrapper agrees with the fast path
+// at the same boundaries.
+func TestPercentileEdges(t *testing.T) {
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("Percentile(nil, 50) = %g, want 0", got)
+	}
+	if got := Percentile([]float64{5}, 0); got != 5 {
+		t.Fatalf("Percentile([5], 0) = %g, want 5", got)
+	}
+	if got := Percentile([]float64{3, 1, 2}, 100); got != 3 {
+		t.Fatalf("Percentile(unsorted, 100) = %g, want 3", got)
+	}
+	if got := Percentile([]float64{3, 1, 2}, 0); got != 1 {
+		t.Fatalf("Percentile(unsorted, 0) = %g, want 1", got)
+	}
+}
+
+// TestSummarizeSorted: the fast path equals Summarize without
+// re-sorting, and does not copy (documented contract: input must
+// already be sorted).
+func TestSummarizeSorted(t *testing.T) {
+	xs := []float64{9, 1, 5, 3, 7}
+	want := Summarize(xs)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if got := SummarizeSorted(sorted); got != want {
+		t.Fatalf("SummarizeSorted = %+v, want %+v", got, want)
+	}
+	if s := SummarizeSorted(nil); s != (Summary{}) {
+		t.Fatalf("SummarizeSorted(nil) = %+v, want zero", s)
+	}
+	if s := SummarizeSorted([]float64{4}); s.N != 1 || s.Min != 4 || s.P50 != 4 || s.P99 != 4 || s.Max != 4 {
+		t.Fatalf("SummarizeSorted([4]) = %+v", s)
+	}
+}
+
+// TestRenderTableNaN: NaN points render as "-" so sparse sweep tables
+// stay aligned.
+func TestRenderTableNaN(t *testing.T) {
+	out := RenderTable("x", []string{"a", "b"}, []Series{
+		{Name: "s", Points: []float64{math.NaN(), 2}},
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[1], "-") || strings.Contains(lines[1], "NaN") {
+		t.Fatalf("NaN row = %q, want '-'", lines[1])
+	}
+	if !strings.Contains(lines[2], "2.0000") {
+		t.Fatalf("numeric row = %q", lines[2])
 	}
 }

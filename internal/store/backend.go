@@ -1,6 +1,9 @@
 package store
 
 import (
+	"fmt"
+	"strings"
+
 	"polyraptor/internal/netsim"
 	"polyraptor/internal/polyraptor"
 	"polyraptor/internal/tcpsim"
@@ -46,6 +49,31 @@ func ParseBackend(name string) (BackendKind, bool) {
 		return BackendDCTCP, true
 	}
 	return 0, false
+}
+
+// ParseBackends expands a CLI backend list ("all" or a comma list of
+// ParseBackend names) — the shared implementation behind every
+// -backend/-backends flag.
+func ParseBackends(arg string) ([]BackendKind, error) {
+	if arg == "all" {
+		return []BackendKind{BackendPolyraptor, BackendTCP, BackendDCTCP}, nil
+	}
+	var out []BackendKind
+	for _, name := range strings.Split(arg, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		kind, ok := ParseBackend(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown backend %q", name)
+		}
+		out = append(out, kind)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no backends selected")
+	}
+	return out, nil
 }
 
 // NetConfig returns the switch configuration each backend assumes:

@@ -88,6 +88,11 @@ func (cfg Config) Hosts() int {
 	return cfg.FatTreeK * cfg.FatTreeK * cfg.FatTreeK / 4
 }
 
+// Racks returns the fabric's rack (edge switch) count, k^2/2.
+func (cfg Config) Racks() int {
+	return cfg.FatTreeK * cfg.FatTreeK / 2
+}
+
 // lambda returns the configured or derived arrival rate.
 func (cfg Config) lambda(linkRate int64) float64 {
 	if cfg.Lambda > 0 {
@@ -99,7 +104,15 @@ func (cfg Config) lambda(linkRate int64) float64 {
 	return cfg.LoadFactor * float64(cfg.Hosts()) * float64(linkRate) / (8 * float64(cfg.ObjectBytes) * mult)
 }
 
-func (cfg Config) validate(topo Topology) error {
+// Validate checks every field combination against the fabric the
+// config itself describes (racks = k^2/2), without building anything —
+// CLIs call it before the engine runs, so an impossible matrix (e.g.
+// R+1 racks on a fabric with fewer) is a clear immediate error instead
+// of a failure deep in placement.
+func (cfg Config) Validate() error {
+	if cfg.FatTreeK < 2 || cfg.FatTreeK%2 != 0 {
+		return fmt.Errorf("store: fat-tree arity k=%d must be even and >= 2", cfg.FatTreeK)
+	}
 	if cfg.Replicas < 1 {
 		return fmt.Errorf("store: Replicas must be >= 1, got %d", cfg.Replicas)
 	}
@@ -109,9 +122,9 @@ func (cfg Config) validate(topo Topology) error {
 	if cfg.ObjectBytes < 1 {
 		return fmt.Errorf("store: ObjectBytes must be >= 1, got %d", cfg.ObjectBytes)
 	}
-	if cfg.Replicas+1 > topo.NumRacks() {
-		return fmt.Errorf("store: R=%d needs %d distinct racks (replicas + writer), fabric has %d",
-			cfg.Replicas, cfg.Replicas+1, topo.NumRacks())
+	if cfg.Replicas+1 > cfg.Racks() {
+		return fmt.Errorf("store: R=%d needs %d distinct racks (replicas + writer), k=%d fabric has %d (k^2/2)",
+			cfg.Replicas, cfg.Replicas+1, cfg.FatTreeK, cfg.Racks())
 	}
 	if cfg.PutFrac < 0 || cfg.PutFrac > 1 {
 		return fmt.Errorf("store: PutFrac must be in [0,1], got %g", cfg.PutFrac)
@@ -119,11 +132,17 @@ func (cfg Config) validate(topo Topology) error {
 	if cfg.ZipfSkew < 0 {
 		return fmt.Errorf("store: ZipfSkew must be non-negative, got %g", cfg.ZipfSkew)
 	}
+	if cfg.Lambda < 0 {
+		return fmt.Errorf("store: Lambda must be >= 0, got %g", cfg.Lambda)
+	}
 	if cfg.Lambda <= 0 && cfg.LoadFactor <= 0 {
 		return fmt.Errorf("store: either Lambda or LoadFactor must be positive")
 	}
 	if cfg.Requests < 0 {
 		return fmt.Errorf("store: Requests must be >= 0, got %d", cfg.Requests)
+	}
+	if cfg.FailFrac < 0 || cfg.FailFrac > 1 {
+		return fmt.Errorf("store: FailFrac must be in [0,1], got %g", cfg.FailFrac)
 	}
 	if cfg.DetectDelay < 0 {
 		return fmt.Errorf("store: DetectDelay must be >= 0, got %v", cfg.DetectDelay)
@@ -269,11 +288,11 @@ type repair struct {
 // measurements. Everything — catalogue, schedule, failure, repairs —
 // is deterministic per Config.Seed.
 func Run(cfg Config) (*Result, error) {
-	ft, err := topology.NewFatTree(cfg.FatTreeK, cfg.Backend.NetConfig(cfg.Seed))
-	if err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if err := cfg.validate(ft); err != nil {
+	ft, err := topology.NewFatTree(cfg.FatTreeK, cfg.Backend.NetConfig(cfg.Seed))
+	if err != nil {
 		return nil, err
 	}
 	e := &engine{

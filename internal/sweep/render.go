@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"polyraptor/internal/stats"
+)
+
+// Rendering. JSON is the machine-readable archive format: it contains
+// no wall-clock or host-dependent fields, so the same matrix always
+// marshals to the same bytes regardless of parallelism (map values are
+// marshalled with sorted keys by encoding/json).
+
+// JSON renders the result as indented, deterministic JSON.
+func (r *Result) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// CSV renders one row per (cell, metric) with the full aggregate, for
+// external plotting.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("scenario,backend,params,metric,n,mean,ci95,min,p50,p95,p99,max\n")
+	for _, c := range r.Cells {
+		var params []string
+		for _, k := range sortedKeys(c.Params) {
+			params = append(params, k+"="+c.Params[k])
+		}
+		for _, a := range c.Metrics {
+			fmt.Fprintf(&b, "%s,%s,%s,%s,%d,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+				c.Scenario, c.Backend, strings.Join(params, " "), a.Metric,
+				a.N, a.Mean, a.CI95, a.Min, a.P50, a.P95, a.P99, a.Max)
+		}
+	}
+	return b.String()
+}
+
+// MetricNames returns the sorted union of metric names across cells.
+func (r *Result) MetricNames() []string {
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		for _, a := range c.Metrics {
+			seen[a.Metric] = true
+		}
+	}
+	return sortedKeys(seen)
+}
+
+// Table renders the result through the existing aligned-table
+// renderer: one row per cell, one mean and one ±CI95 column per
+// metric. An empty metric list selects every metric in the result.
+func (r *Result) Table(metrics []string) string {
+	if len(metrics) == 0 {
+		metrics = r.MetricNames()
+	}
+	rows := make([]string, len(r.Cells))
+	for i, c := range r.Cells {
+		rows[i] = c.Scenario + "/" + c.Backend
+	}
+	var cols []stats.Series
+	for _, name := range metrics {
+		mean := stats.Series{Name: name}
+		ci := stats.Series{Name: "±CI95"}
+		for _, c := range r.Cells {
+			if a, ok := c.Metric(name); ok {
+				mean.Points = append(mean.Points, a.Mean)
+				ci.Points = append(ci.Points, a.CI95)
+			} else {
+				// RenderTable prints NaN points as "-".
+				mean.Points = append(mean.Points, math.NaN())
+				ci.Points = append(ci.Points, math.NaN())
+			}
+		}
+		cols = append(cols, mean, ci)
+	}
+	table := stats.RenderTable("cell", rows, cols)
+	var b strings.Builder
+	fmt.Fprintf(&b, "== sweep: %d cells x %d seeds (base seed %d) ==\n",
+		len(r.Cells), r.Seeds, r.BaseSeed)
+	b.WriteString(table)
+	if errs := r.errorLines(); len(errs) > 0 {
+		b.WriteString("\nerrors:\n")
+		for _, e := range errs {
+			b.WriteString("  " + e + "\n")
+		}
+	}
+	return b.String()
+}
+
+// errorLines flattens per-cell errors into "cell: error" lines.
+func (r *Result) errorLines() []string {
+	var out []string
+	for _, c := range r.Cells {
+		for _, e := range c.Errors {
+			out = append(out, c.Scenario+"/"+c.Backend+": "+e)
+		}
+	}
+	return out
+}

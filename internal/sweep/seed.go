@@ -1,0 +1,40 @@
+package sweep
+
+// Sub-seed derivation. Every repetition of a sweep gets its own seed
+// derived from the matrix base seed through the SplitMix64 output
+// function, so the per-repetition RNG streams are statistically
+// independent (Seed and Seed+1 feed rand.NewSource states that are
+// heavily correlated; mixing destroys that structure) and — because
+// derivation is a pure function of (base, rep) — byte-identical
+// whether repetitions run serially or on a parallel worker pool.
+//
+// The same repetition index maps to the same sub-seed in every cell,
+// so two backends compared at rep r see identical workload draws —
+// the paired-comparison property the paper's five-seed error bars
+// assume.
+
+// golden is 2^64/phi, the SplitMix64 stream increment.
+const golden = 0x9E3779B97F4A7C15
+
+// mix64 is the SplitMix64 output permutation (Steele, Lea & Flood,
+// "Fast splittable pseudorandom number generators", OOPSLA 2014).
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// SubSeed returns the seed for repetition rep (0-based) of a sweep
+// with the given base seed.
+func SubSeed(base int64, rep int) int64 {
+	return int64(mix64(uint64(base) + uint64(rep+1)*golden))
+}
+
+// SubSeeds returns the first n repetition seeds for base.
+func SubSeeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = SubSeed(base, i)
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package sweep
+
+import "testing"
+
+// TestSubSeedDeterministic: same (base, rep) always maps to the same
+// seed — the property byte-identical parallel sweeps rest on.
+func TestSubSeedDeterministic(t *testing.T) {
+	for base := int64(-3); base <= 3; base++ {
+		for rep := 0; rep < 10; rep++ {
+			if SubSeed(base, rep) != SubSeed(base, rep) {
+				t.Fatalf("SubSeed(%d,%d) not deterministic", base, rep)
+			}
+		}
+	}
+}
+
+// TestSubSeedDistinct: no collisions across a large rep range and
+// across neighbouring bases — the ad-hoc Seed+i scheme this replaces
+// produced heavily correlated rand.NewSource states.
+func TestSubSeedDistinct(t *testing.T) {
+	seen := map[int64][2]int64{}
+	for base := int64(0); base < 8; base++ {
+		for rep := 0; rep < 2000; rep++ {
+			s := SubSeed(base, rep)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("SubSeed collision: (%d,%d) and (%d,%d) -> %d",
+					base, rep, prev[0], prev[1], s)
+			}
+			seen[s] = [2]int64{base, int64(rep)}
+		}
+	}
+}
+
+// TestSubSeedsMatchesSubSeed: the batch helper is the pointwise one.
+func TestSubSeedsMatchesSubSeed(t *testing.T) {
+	got := SubSeeds(42, 7)
+	if len(got) != 7 {
+		t.Fatalf("SubSeeds returned %d seeds, want 7", len(got))
+	}
+	for i, s := range got {
+		if s != SubSeed(42, i) {
+			t.Fatalf("SubSeeds[%d] = %d, want %d", i, s, SubSeed(42, i))
+		}
+	}
+}
+
+// TestSubSeedMixes: consecutive reps should differ in many bits, not
+// just the low ones (a smoke test that the output function is applied).
+func TestSubSeedMixes(t *testing.T) {
+	a, b := uint64(SubSeed(1, 0)), uint64(SubSeed(1, 1))
+	diff := a ^ b
+	bits := 0
+	for ; diff != 0; diff &= diff - 1 {
+		bits++
+	}
+	if bits < 16 {
+		t.Fatalf("SubSeed(1,0) and SubSeed(1,1) differ in only %d bits", bits)
+	}
+}

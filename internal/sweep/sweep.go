@@ -1,0 +1,288 @@
+// Package sweep is the experiment-sweep engine: it takes a declarative
+// run matrix (cells = backend x scenario, each with a Runner), executes
+// the independent discrete-event simulations concurrently on a worker
+// pool, and aggregates per-cell metrics across repetition seeds into
+// mean, 95% confidence interval and tail percentiles.
+//
+// Determinism is the design constraint everything else serves. Each
+// (cell, repetition) run gets its own SplitMix-derived sub-seed
+// (SubSeed) and its own simulation instance — no RNG state is shared
+// across goroutines — and results are written into pre-assigned slots,
+// so a sweep's aggregated output is byte-identical whether it runs on
+// one worker or on GOMAXPROCS workers.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"polyraptor/internal/stats"
+)
+
+// Metrics is the named scalar outputs of one run. A runner may omit a
+// metric on some repetitions (e.g. an interference ratio that could
+// not be measured); aggregation then uses the repetitions that
+// reported it.
+type Metrics map[string]float64
+
+// Runner executes one simulation for one derived seed. Implementations
+// must be safe for concurrent calls: every Run builds its own
+// simulation state and shares nothing mutable.
+type Runner interface {
+	Run(seed int64) (Metrics, error)
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(seed int64) (Metrics, error)
+
+// Run implements Runner.
+func (f RunnerFunc) Run(seed int64) (Metrics, error) { return f(seed) }
+
+// Cell is one point of the run matrix: a scenario under a backend,
+// plus any extra parameters worth echoing in reports.
+type Cell struct {
+	// Scenario names the workload (e.g. "incast", "storage").
+	Scenario string
+	// Backend names the transport under test (e.g. "polyraptor").
+	Backend string
+	// Params are extra axis values, rendered sorted by key.
+	Params map[string]string
+	// Runner executes the cell for one seed.
+	Runner Runner
+}
+
+// Name returns the cell's display label: scenario/backend plus sorted
+// params.
+func (c Cell) Name() string {
+	s := c.Scenario + "/" + c.Backend
+	for _, k := range sortedKeys(c.Params) {
+		s += fmt.Sprintf(" %s=%s", k, c.Params[k])
+	}
+	return s
+}
+
+// Matrix is a declarative sweep: cells x seeds, run with the given
+// parallelism.
+type Matrix struct {
+	// Cells are the matrix points.
+	Cells []Cell
+	// Seeds is the repetition count per cell (the paper uses 5).
+	Seeds int
+	// BaseSeed anchors sub-seed derivation.
+	BaseSeed int64
+	// Parallelism caps concurrent runs; <= 0 means GOMAXPROCS.
+	Parallelism int
+}
+
+// Aggregate is one metric reduced across repetitions.
+type Aggregate struct {
+	// Metric is the metric name.
+	Metric string `json:"metric"`
+	// N is the number of repetitions that reported the metric.
+	N int `json:"n"`
+	// Mean is the arithmetic mean; CI95 the Student-t 95% confidence
+	// half-width over the N repetitions.
+	Mean float64 `json:"mean"`
+	CI95 float64 `json:"ci95"`
+	// Min, P50, P95, P99 and Max are order statistics over the N
+	// repetitions.
+	Min float64 `json:"min"`
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+// CellResult is one cell's aggregated output.
+type CellResult struct {
+	Scenario string            `json:"scenario"`
+	Backend  string            `json:"backend"`
+	Params   map[string]string `json:"params,omitempty"`
+	// Seeds are the derived per-repetition sub-seeds, in repetition
+	// order (identical for every cell, so backends pair up).
+	Seeds []int64 `json:"seeds"`
+	// Metrics are the aggregates, sorted by metric name.
+	Metrics []Aggregate `json:"metrics"`
+	// Samples holds the raw per-repetition values behind each
+	// aggregate, in repetition order (repetitions that errored or did
+	// not report the metric are skipped).
+	Samples map[string][]float64 `json:"samples,omitempty"`
+	// Errors records failed repetitions as "rep N: message".
+	Errors []string `json:"errors,omitempty"`
+}
+
+// Result is a completed sweep.
+type Result struct {
+	BaseSeed int64        `json:"base_seed"`
+	Seeds    int          `json:"seeds"`
+	Cells    []CellResult `json:"cells"`
+}
+
+// ForEach runs n independent jobs on a pool of `parallelism` workers
+// (<= 0 means GOMAXPROCS) and returns when all have finished. Jobs
+// receive their index and must write results only to their own
+// pre-assigned slots; under that contract the outcome is independent
+// of scheduling order. A panicking job does not kill the worker
+// goroutine (which would abort the process unrecoverably): the
+// lowest-index panic is re-raised on the caller's goroutine after all
+// jobs finish, so callers can recover exactly as they could from a
+// serial loop.
+func ForEach(n, parallelism int, job func(i int)) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	panics := make([]any, n)
+	runJob := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panics[i] = r
+			}
+		}()
+		job(i)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runJob(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// Run executes the matrix and aggregates each cell across its
+// repetition seeds. A repetition that returns an error (or panics —
+// the harness panics on malformed experiments) is recorded in the
+// cell's Errors and excluded from aggregation; Run itself fails only
+// on an invalid matrix.
+func (m Matrix) Run() (*Result, error) {
+	if len(m.Cells) == 0 {
+		return nil, fmt.Errorf("sweep: matrix has no cells")
+	}
+	if m.Seeds < 1 {
+		return nil, fmt.Errorf("sweep: Seeds must be >= 1, got %d", m.Seeds)
+	}
+	for i, c := range m.Cells {
+		if c.Runner == nil {
+			return nil, fmt.Errorf("sweep: cell %d (%s) has no runner", i, c.Name())
+		}
+	}
+	seeds := SubSeeds(m.BaseSeed, m.Seeds)
+
+	type runOut struct {
+		metrics Metrics
+		err     error
+	}
+	// One pre-assigned slot per (cell, rep): workers never contend and
+	// aggregation order is independent of completion order.
+	outs := make([]runOut, len(m.Cells)*m.Seeds)
+	ForEach(len(outs), m.Parallelism, func(i int) {
+		cell := m.Cells[i/m.Seeds]
+		seed := seeds[i%m.Seeds]
+		metrics, err := runCell(cell, seed)
+		outs[i] = runOut{metrics, err}
+	})
+
+	res := &Result{BaseSeed: m.BaseSeed, Seeds: m.Seeds}
+	for ci, cell := range m.Cells {
+		cr := CellResult{
+			Scenario: cell.Scenario,
+			Backend:  cell.Backend,
+			Params:   cell.Params,
+			Seeds:    seeds,
+		}
+		samples := map[string][]float64{}
+		for rep := 0; rep < m.Seeds; rep++ {
+			o := outs[ci*m.Seeds+rep]
+			if o.err != nil {
+				cr.Errors = append(cr.Errors, fmt.Sprintf("rep %d: %v", rep, o.err))
+				continue
+			}
+			for name, v := range o.metrics {
+				samples[name] = append(samples[name], v)
+			}
+		}
+		for _, name := range sortedKeys(samples) {
+			cr.Metrics = append(cr.Metrics, aggregate(name, samples[name]))
+		}
+		if len(samples) > 0 {
+			cr.Samples = samples
+		}
+		res.Cells = append(res.Cells, cr)
+	}
+	return res, nil
+}
+
+// runCell executes one repetition, converting runner panics into
+// errors so one malformed cell cannot abort a whole sweep.
+func runCell(c Cell, seed int64) (m Metrics, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			m, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return c.Runner.Run(seed)
+}
+
+// aggregate reduces one metric's repetition samples. The sample is
+// sorted once and the percentiles taken through the sorted fast path —
+// cheap enough to run over thousands of cells.
+func aggregate(name string, xs []float64) Aggregate {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	sum := stats.SummarizeSorted(s)
+	return Aggregate{
+		Metric: name,
+		N:      sum.N,
+		Mean:   sum.Mean,
+		CI95:   stats.CI95(xs),
+		Min:    sum.Min,
+		P50:    sum.P50,
+		P95:    sum.P95,
+		P99:    sum.P99,
+		Max:    sum.Max,
+	}
+}
+
+// Metric returns the named aggregate of a cell, or false.
+func (cr CellResult) Metric(name string) (Aggregate, bool) {
+	for _, a := range cr.Metrics {
+		if a.Metric == name {
+			return a, true
+		}
+	}
+	return Aggregate{}, false
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -33,8 +33,8 @@ type FatTree struct {
 // NewFatTree builds a k-ary fat-tree (k even, >= 2) over a fresh
 // network with the given config.
 func NewFatTree(k int, cfg netsim.Config) (*FatTree, error) {
-	if k < 2 || k%2 != 0 {
-		return nil, fmt.Errorf("topology: fat-tree arity k=%d must be even and >= 2", k)
+	if err := CheckArity(k); err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
 	}
 	ft := &FatTree{K: k, Net: netsim.New(cfg), groupTouched: map[int32][]*netsim.Switch{}}
 	half := k / 2
@@ -126,6 +126,32 @@ func (ft *FatTree) RackOf(h int) int {
 
 // NumRacks returns the number of racks (edge switches): k^2/2.
 func (ft *FatTree) NumRacks() int { return ft.K * ft.K / 2 }
+
+// OutOfRackHosts returns how many hosts of a k-ary fat-tree sit
+// outside any one rack: k^3/4 - k/2 — the eligibility bound for
+// out-of-rack peer pickers, computable before the fabric is built.
+func OutOfRackHosts(k int) int { return k*k*k/4 - k/2 }
+
+// CheckArity validates a fat-tree arity without building the fabric —
+// the shared up-front check behind every CLI's -k flag.
+func CheckArity(k int) error {
+	if k < 2 || k%2 != 0 {
+		return fmt.Errorf("fat-tree arity k=%d must be even and >= 2", k)
+	}
+	return nil
+}
+
+// CheckFanout validates that n out-of-rack peers (noun: "senders",
+// "replicas", ...) fit a k-ary fabric; out-of-rack pickers spin
+// forever on an oversized fan-out, so CLIs call this before building
+// anything.
+func CheckFanout(k, n int, noun string) error {
+	if n < 1 || n > OutOfRackHosts(k) {
+		return fmt.Errorf("needs 1 <= %s <= %d out-of-rack hosts on a k=%d fabric, got %d",
+			noun, OutOfRackHosts(k), k, n)
+	}
+	return nil
+}
 
 // HostsPerRack returns the number of hosts under each edge switch: k/2.
 func (ft *FatTree) HostsPerRack() int { return ft.K / 2 }
