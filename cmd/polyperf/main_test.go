@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"polyraptor/internal/perfbench"
+)
+
+// TestRunQuickJSON drives the full quick suite in-process and
+// validates the report.
+func TestRunQuickJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_0.json")
+	var out, errw bytes.Buffer
+	code := run([]string{"-quick", "-out", path}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errw.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep perfbench.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != perfbench.Schema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if !rep.Quick || rep.Index != 0 {
+		t.Fatalf("quick/index wrong: %+v", rep)
+	}
+	want := map[string]bool{}
+	for _, c := range perfbench.Suite(true) {
+		want[c.Name] = false
+	}
+	for _, r := range rep.Results {
+		if _, ok := want[r.Name]; !ok {
+			t.Fatalf("unexpected result %q", r.Name)
+		}
+		want[r.Name] = true
+		if r.NsPerOp <= 0 || r.N <= 0 {
+			t.Fatalf("%s: empty measurement: %+v", r.Name, r)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("suite case %q missing from report", name)
+		}
+	}
+	// The event-engine rate metric must be present and positive.
+	for _, r := range rep.Results {
+		if r.Name == "sim/EventEngine/ScheduleRun" && r.Metrics["events_per_sec"] <= 0 {
+			t.Fatalf("no events_per_sec metric: %+v", r)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errw.String())
+	}
+	s := out.String()
+	for _, want := range []string{"gf256/MulAddRow", "codec/Decode30pctLoss", "sim/EventEngine/ScheduleRun", "e2e/Fig1aRQ3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestNextBenchPath(t *testing.T) {
+	dir := t.TempDir()
+	path, idx, err := nextBenchPath(dir)
+	if err != nil || idx != 0 || filepath.Base(path) != "BENCH_0.json" {
+		t.Fatalf("empty dir: path=%s idx=%d err=%v", path, idx, err)
+	}
+	for _, name := range []string{"BENCH_0.json", "BENCH_3.json", "BENCH_x.json", "other.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, idx, err = nextBenchPath(dir)
+	if err != nil || idx != 4 || filepath.Base(path) != "BENCH_4.json" {
+		t.Fatalf("after 0 and 3: path=%s idx=%d err=%v", path, idx, err)
+	}
+	if got := indexFromPath("/some/dir/BENCH_7.json"); got != 7 {
+		t.Fatalf("indexFromPath = %d, want 7", got)
+	}
+	if got := indexFromPath("perf.json"); got != 0 {
+		t.Fatalf("indexFromPath(perf.json) = %d, want 0", got)
+	}
+}
+
+func TestHelpExitsZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errw); code != 0 {
+		t.Fatalf("-h exited %d", code)
+	}
+}

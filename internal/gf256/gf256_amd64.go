@@ -1,0 +1,36 @@
+//go:build amd64 && gc
+
+package gf256
+
+// useSSSE3 gates the PSHUFB kernels. SSSE3 (2006) is near-universal on
+// amd64 but not part of the GOAMD64=v1 baseline, so it is detected at
+// startup via CPUID.
+var useSSSE3 = cpuidFeatureECX()&(1<<9) != 0
+
+// haveSSE2 gates the XOR kernel; SSE2 is part of the amd64 baseline.
+const haveSSE2 = true
+
+// cpuidFeatureECX returns ECX of CPUID leaf 1 (feature flags;
+// bit 9 = SSSE3). Implemented in gf256_amd64.s.
+func cpuidFeatureECX() (ecx uint32)
+
+// galXorSSE2 computes dst[i] ^= src[i] for i in [0, n) where n is a
+// positive multiple of 16. dst and src must not overlap. Implemented
+// in gf256_amd64.s.
+//
+//go:noescape
+func galXorSSE2(dst, src *byte, n int)
+
+// galMulAddSSSE3 computes dst[i] ^= c*src[i] for i in [0, n) where tab
+// points at the 32-byte nibble product table for c (nibTab[c]) and n
+// is a positive multiple of 16. dst and src must not overlap.
+// Implemented in gf256_amd64.s.
+//
+//go:noescape
+func galMulAddSSSE3(tab, dst, src *byte, n int)
+
+// galMulSSSE3 computes row[i] = c*row[i] for i in [0, n), with tab and
+// n as in galMulAddSSSE3. Implemented in gf256_amd64.s.
+//
+//go:noescape
+func galMulSSSE3(tab, row *byte, n int)

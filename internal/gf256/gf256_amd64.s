@@ -1,0 +1,100 @@
+//go:build amd64 && gc
+
+#include "textflag.h"
+
+// Low-nibble lane mask used by both kernels.
+DATA nibbleMask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibbleMask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibbleMask<>(SB), RODATA, $16
+
+// func cpuidFeatureECX() (ecx uint32)
+TEXT ·cpuidFeatureECX(SB), NOSPLIT, $0-4
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, ecx+0(FP)
+	RET
+
+// func galXorSSE2(dst, src *byte, n int)
+//
+// dst[i] ^= src[i] for i in [0, n), n a positive multiple of 16.
+// SSE2 only, so available on every amd64.
+TEXT ·galXorSSE2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+xorLoop:
+	MOVOU (SI), X0
+	MOVOU (DI), X1
+	PXOR  X1, X0
+	MOVOU X0, (DI)
+	ADDQ  $16, SI
+	ADDQ  $16, DI
+	SUBQ  $16, CX
+	JNZ   xorLoop
+	RET
+
+// func galMulAddSSSE3(tab, dst, src *byte, n int)
+//
+// dst[i] ^= mul(src[i]) for i in [0, n), n a positive multiple of 16.
+// tab is the 32-byte nibble product table: products of the coefficient
+// with the 16 low-nibble values, then with the 16 high-nibble values.
+// Each 16-byte block: split src bytes into nibbles, PSHUFB each half
+// through its table, XOR the halves and the destination.
+TEXT ·galMulAddSSSE3(SB), NOSPLIT, $0-32
+	MOVQ  tab+0(FP), AX
+	MOVQ  dst+8(FP), DI
+	MOVQ  src+16(FP), SI
+	MOVQ  n+24(FP), CX
+	MOVOU (AX), X6            // low-nibble product table
+	MOVOU 16(AX), X7          // high-nibble product table
+	MOVOU nibbleMask<>(SB), X5
+
+mulAddLoop:
+	MOVOU  (SI), X0
+	MOVO   X0, X1
+	PSRLQ  $4, X1
+	PAND   X5, X0             // low nibbles
+	PAND   X5, X1             // high nibbles
+	MOVO   X6, X2
+	MOVO   X7, X3
+	PSHUFB X0, X2             // products of low nibbles
+	PSHUFB X1, X3             // products of high nibbles
+	PXOR   X3, X2
+	MOVOU  (DI), X4
+	PXOR   X4, X2
+	MOVOU  X2, (DI)
+	ADDQ   $16, SI
+	ADDQ   $16, DI
+	SUBQ   $16, CX
+	JNZ    mulAddLoop
+	RET
+
+// func galMulSSSE3(tab, row *byte, n int)
+//
+// row[i] = mul(row[i]) for i in [0, n), n a positive multiple of 16.
+TEXT ·galMulSSSE3(SB), NOSPLIT, $0-24
+	MOVQ  tab+0(FP), AX
+	MOVQ  row+8(FP), DI
+	MOVQ  n+16(FP), CX
+	MOVOU (AX), X6
+	MOVOU 16(AX), X7
+	MOVOU nibbleMask<>(SB), X5
+
+mulLoop:
+	MOVOU  (DI), X0
+	MOVO   X0, X1
+	PSRLQ  $4, X1
+	PAND   X5, X0
+	PAND   X5, X1
+	MOVO   X6, X2
+	MOVO   X7, X3
+	PSHUFB X0, X2
+	PSHUFB X1, X3
+	PXOR   X3, X2
+	MOVOU  X2, (DI)
+	ADDQ   $16, DI
+	SUBQ   $16, CX
+	JNZ    mulLoop
+	RET

@@ -1,0 +1,22 @@
+//go:build !amd64 || !gc
+
+package gf256
+
+// Non-amd64 (or non-gc toolchain) targets use the portable word-wise
+// kernels only.
+const useSSSE3 = false
+const haveSSE2 = false
+
+func cpuidFeatureECX() uint32 { return 0 }
+
+func galXorSSE2(dst, src *byte, n int) {
+	panic("gf256: SSE2 kernel called without asm support")
+}
+
+func galMulAddSSSE3(tab, dst, src *byte, n int) {
+	panic("gf256: SSSE3 kernel called without asm support")
+}
+
+func galMulSSSE3(tab, row *byte, n int) {
+	panic("gf256: SSSE3 kernel called without asm support")
+}

@@ -1,0 +1,199 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Parity tests: the word-wise kernels must be byte-identical to the
+// scalar reference paths for every coefficient, every length (covering
+// all word/tail splits) and unaligned sub-slices.
+
+func randRow(rng *rand.Rand, n int) []byte {
+	row := make([]byte, n)
+	rng.Read(row)
+	// Sprinkle zeros so the scalar paths' zero-skip branch is exercised.
+	for i := 0; i < n/4; i++ {
+		row[rng.Intn(n)] = 0
+	}
+	return row
+}
+
+func TestAddRowParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for n := 1; n <= 70; n++ {
+		src := randRow(rng, n)
+		dst := randRow(rng, n)
+		want := append([]byte(nil), dst...)
+		AddRowScalar(want, src)
+		got := append([]byte(nil), dst...)
+		AddRow(got, src)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("AddRow n=%d diverges from scalar", n)
+		}
+	}
+}
+
+func TestMulAddRowParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 65, 1024, 1031} {
+		src := randRow(rng, n)
+		dst := randRow(rng, n)
+		for c := 0; c < 256; c++ {
+			want := append([]byte(nil), dst...)
+			MulAddRowScalar(want, src, byte(c))
+			got := append([]byte(nil), dst...)
+			MulAddRow(got, src, byte(c))
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulAddRow n=%d c=%d diverges from scalar", n, c)
+			}
+		}
+	}
+}
+
+func TestScaleRowParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 7, 8, 9, 16, 65, 1024, 1031} {
+		row := randRow(rng, n)
+		for c := 0; c < 256; c++ {
+			want := append([]byte(nil), row...)
+			ScaleRowScalar(want, byte(c))
+			got := append([]byte(nil), row...)
+			ScaleRow(got, byte(c))
+			if !bytes.Equal(got, want) {
+				t.Fatalf("ScaleRow n=%d c=%d diverges from scalar", n, c)
+			}
+		}
+	}
+}
+
+// The portable word-wise cores must stay byte-identical to the scalar
+// paths too — on amd64 the exported kernels dispatch to SSSE3, so the
+// fallback needs its own parity coverage.
+func TestPortableWordCoresParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{1, 7, 8, 9, 15, 16, 17, 64, 1031} {
+		src := randRow(rng, n)
+		dst := randRow(rng, n)
+		wantAdd := append([]byte(nil), dst...)
+		AddRowScalar(wantAdd, src)
+		gotAdd := append([]byte(nil), dst...)
+		addRowWords(gotAdd, src)
+		if !bytes.Equal(gotAdd, wantAdd) {
+			t.Fatalf("addRowWords n=%d diverges from scalar", n)
+		}
+		for _, c := range []byte{2, 3, 0x35, 0x80, 0xFF} {
+			want := append([]byte(nil), dst...)
+			MulAddRowScalar(want, src, c)
+			got := append([]byte(nil), dst...)
+			mulAddRowWords(got, src, c)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("mulAddRowWords n=%d c=%d diverges from scalar", n, c)
+			}
+			wantRow := append([]byte(nil), src...)
+			ScaleRowScalar(wantRow, c)
+			gotRow := append([]byte(nil), src...)
+			scaleRowWords(gotRow, c)
+			if !bytes.Equal(gotRow, wantRow) {
+				t.Fatalf("scaleRowWords n=%d c=%d diverges from scalar", n, c)
+			}
+		}
+	}
+}
+
+// Unaligned sub-slices: the word loop must not assume 8-byte alignment
+// of the slice data pointer.
+func TestRowOpsUnalignedParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	backingSrc := randRow(rng, 256)
+	backingDst := randRow(rng, 256)
+	for off := 0; off < 8; off++ {
+		for _, n := range []int{24, 25, 31} {
+			src := backingSrc[off : off+n]
+			dst := backingDst[off : off+n]
+			want := append([]byte(nil), dst...)
+			MulAddRowScalar(want, src, 0x53)
+			got := append([]byte(nil), dst...)
+			MulAddRow(got, src, 0x53)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("MulAddRow off=%d n=%d diverges from scalar", off, n)
+			}
+		}
+	}
+}
+
+func TestMulWordMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var w [8]byte
+	for c := 0; c < 256; c++ {
+		rng.Read(w[:])
+		var in, want [8]byte
+		copy(in[:], w[:])
+		for i := range w {
+			want[i] = Mul(w[i], byte(c))
+		}
+		var got [8]byte
+		putUint64 := func(b []byte, v uint64) {
+			for i := 0; i < 8; i++ {
+				b[i] = byte(v >> (8 * i))
+			}
+		}
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(in[i]) << (8 * i)
+		}
+		m := mulPlanes(byte(c))
+		putUint64(got[:], mulWord(v, &m))
+		if got != want {
+			t.Fatalf("mulWord c=%d: got %v want %v", c, got, want)
+		}
+	}
+}
+
+func BenchmarkMulAddRowScalar(b *testing.B) {
+	dst := make([]byte, 1280)
+	src := make([]byte, 1280)
+	for i := range src {
+		src[i] = byte(i * 31)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddRowScalar(dst, src, 0x35)
+	}
+}
+
+func BenchmarkAddRowScalar(b *testing.B) {
+	dst := make([]byte, 1280)
+	src := make([]byte, 1280)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddRowScalar(dst, src)
+	}
+}
+
+func BenchmarkScaleRow(b *testing.B) {
+	row := make([]byte, 1280)
+	for i := range row {
+		row[i] = byte(i*17 + 1)
+	}
+	b.SetBytes(int64(len(row)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScaleRow(row, 0x35)
+	}
+}
+
+func BenchmarkScaleRowScalar(b *testing.B) {
+	row := make([]byte, 1280)
+	for i := range row {
+		row[i] = byte(i*17 + 1)
+	}
+	b.SetBytes(int64(len(row)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ScaleRowScalar(row, 0x35)
+	}
+}

@@ -1,0 +1,101 @@
+package perfbench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunCaseDerivedFigures(t *testing.T) {
+	calls := 0
+	c := Case{
+		Name:       "test/spin",
+		BytesPerOp: 1000,
+		RateName:   "ops_per_sec",
+		UnitsPerOp: 2,
+		Fn: func(n int) {
+			calls++
+			time.Sleep(time.Duration(n) * 10 * time.Microsecond)
+		},
+	}
+	res := runCase(c, 2*time.Millisecond)
+	if res.N < 1 || res.NsPerOp <= 0 {
+		t.Fatalf("bad measurement: %+v", res)
+	}
+	if calls < 2 {
+		t.Fatalf("expected warmup plus at least one measured run, got %d calls", calls)
+	}
+	if res.MBPerSec <= 0 {
+		t.Fatalf("MBPerSec not derived: %+v", res)
+	}
+	rate := res.Metrics["ops_per_sec"]
+	wantRate := 2 / (res.NsPerOp / 1e9)
+	if rate < wantRate*0.99 || rate > wantRate*1.01 {
+		t.Fatalf("rate %.2f, want ~%.2f", rate, wantRate)
+	}
+}
+
+func TestRunCaseOneShot(t *testing.T) {
+	calls := 0
+	res := runCase(Case{
+		Name:    "test/oneshot",
+		OneShot: true,
+		Fn:      func(n int) { calls += n },
+		Metrics: func() map[string]float64 { return map[string]float64{"x": 42} },
+	}, time.Second)
+	if calls != 1 {
+		t.Fatalf("one-shot case ran %d iterations", calls)
+	}
+	if res.N != 1 || res.Metrics["x"] != 42 {
+		t.Fatalf("one-shot result wrong: %+v", res)
+	}
+}
+
+// The suite's names are the cross-PR contract: quick and full runs
+// must expose the same families, and every kernel has its scalar
+// baseline so speedups are computable from a single report.
+func TestSuiteShape(t *testing.T) {
+	for _, quick := range []bool{false, true} {
+		names := map[string]bool{}
+		for _, c := range Suite(quick) {
+			if c.Fn == nil || c.Name == "" {
+				t.Fatalf("malformed case %+v", c)
+			}
+			if names[c.Name] {
+				t.Fatalf("duplicate case name %q", c.Name)
+			}
+			names[c.Name] = true
+		}
+		for _, kernel := range []string{"AddRow", "MulAddRow", "ScaleRow"} {
+			var base, scalar bool
+			for name := range names {
+				if strings.Contains(name, kernel+"/") {
+					base = true
+				}
+				if strings.Contains(name, kernel+"Scalar/") {
+					scalar = true
+				}
+			}
+			if !base || !scalar {
+				t.Fatalf("kernel %s missing base or scalar case (quick=%v)", kernel, quick)
+			}
+		}
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	rep := Report{Schema: Schema, Index: 3, Results: []Result{{Name: "a", N: 1, NsPerOp: 2}}}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Index != 3 || len(back.Results) != 1 || back.Results[0].Name != "a" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

@@ -1,0 +1,267 @@
+package perfbench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"polyraptor/internal/gf256"
+	"polyraptor/internal/harness"
+	"polyraptor/internal/raptorq"
+	"polyraptor/internal/sim"
+)
+
+// rowLen is the row length for the gf256 kernels: the 1436-byte
+// MTU-sized symbol the object encoder uses on the wire.
+const rowLen = 1436
+
+// Suite returns the fixed benchmark suite. Names are stable across
+// PRs; quick shrinks the workloads for CI smoke runs.
+func Suite(quick bool) []Case {
+	var cases []Case
+	cases = append(cases, gf256Cases()...)
+	cases = append(cases, codecCases(quick)...)
+	cases = append(cases, simCases()...)
+	cases = append(cases, e2eCases(quick)...)
+	return cases
+}
+
+func gf256Cases() []Case {
+	mk := func(name string, fn func(dst, src []byte, n int)) Case {
+		dst := make([]byte, rowLen)
+		src := make([]byte, rowLen)
+		for i := range src {
+			src[i] = byte(i*31 + 1)
+		}
+		return Case{
+			Name:       fmt.Sprintf("gf256/%s/%d", name, rowLen),
+			BytesPerOp: rowLen,
+			Fn:         func(n int) { fn(dst, src, n) },
+		}
+	}
+	return []Case{
+		mk("AddRow", func(dst, src []byte, n int) {
+			for i := 0; i < n; i++ {
+				gf256.AddRow(dst, src)
+			}
+		}),
+		mk("AddRowScalar", func(dst, src []byte, n int) {
+			for i := 0; i < n; i++ {
+				gf256.AddRowScalar(dst, src)
+			}
+		}),
+		mk("MulAddRow", func(dst, src []byte, n int) {
+			for i := 0; i < n; i++ {
+				gf256.MulAddRow(dst, src, 0x35)
+			}
+		}),
+		mk("MulAddRowScalar", func(dst, src []byte, n int) {
+			for i := 0; i < n; i++ {
+				gf256.MulAddRowScalar(dst, src, 0x35)
+			}
+		}),
+		// ScaleRow cases operate on the initialized src buffer (not the
+		// zero dst): scaling by a non-zero coefficient is a bijection,
+		// so the data stays representative across iterations, while an
+		// all-zero row would only measure the scalar path's zero-skip
+		// branch.
+		mk("ScaleRow", func(_, src []byte, n int) {
+			for i := 0; i < n; i++ {
+				gf256.ScaleRow(src, 0x35)
+			}
+		}),
+		mk("ScaleRowScalar", func(_, src []byte, n int) {
+			for i := 0; i < n; i++ {
+				gf256.ScaleRowScalar(src, 0x35)
+			}
+		}),
+	}
+}
+
+func codecSymbols(k, t int) [][]byte {
+	rng := rand.New(rand.NewSource(7))
+	src := make([][]byte, k)
+	for i := range src {
+		src[i] = make([]byte, t)
+		rng.Read(src[i])
+	}
+	return src
+}
+
+func codecCases(quick bool) []Case {
+	k := 256
+	if quick {
+		k = 64
+	}
+	const t = 1024
+	src := codecSymbols(k, t)
+
+	encCase := Case{
+		Name:       fmt.Sprintf("codec/Encode/K=%d", k),
+		BytesPerOp: int64(k * t),
+		RateName:   "symbols_per_sec",
+		UnitsPerOp: float64(k),
+		Fn: func(n int) {
+			for i := 0; i < n; i++ {
+				if _, err := raptorq.NewEncoder(src); err != nil {
+					panic(err)
+				}
+			}
+		},
+	}
+
+	enc, err := raptorq.NewEncoder(src)
+	if err != nil {
+		panic(err)
+	}
+	buf := make([]byte, 0, t)
+	repairCase := Case{
+		Name:       fmt.Sprintf("codec/RepairSymbol/K=%d", k),
+		BytesPerOp: t,
+		RateName:   "symbols_per_sec",
+		UnitsPerOp: 1,
+		Fn: func(n int) {
+			// A 1024-ESI window mirrors serving one object to many
+			// receivers: the same repair ESIs recur across sessions.
+			for i := 0; i < n; i++ {
+				buf = enc.AppendSymbol(buf[:0], uint32(k+i%1024))
+			}
+		},
+	}
+
+	// Decode with 30% of source symbols lost, repaired from the repair
+	// stream — the representative Polyraptor receive path.
+	rng := rand.New(rand.NewSource(11))
+	type arrival struct {
+		esi uint32
+		sym []byte
+	}
+	var arrivals []arrival
+	for i := 0; i < k; i++ {
+		if rng.Float64() < 0.7 {
+			arrivals = append(arrivals, arrival{uint32(i), enc.Symbol(uint32(i))})
+		}
+	}
+	for esi := uint32(k); len(arrivals) < k+2; esi++ {
+		arrivals = append(arrivals, arrival{esi, enc.Symbol(esi)})
+	}
+	decCase := Case{
+		Name:       fmt.Sprintf("codec/Decode30pctLoss/K=%d", k),
+		BytesPerOp: int64(k * t),
+		RateName:   "symbols_per_sec",
+		UnitsPerOp: float64(k),
+		Fn: func(n int) {
+			for i := 0; i < n; i++ {
+				dec, err := raptorq.NewDecoder(k, t)
+				if err != nil {
+					panic(err)
+				}
+				for _, a := range arrivals {
+					if _, err := dec.AddSymbol(a.esi, a.sym); err != nil {
+						panic(err)
+					}
+				}
+				if _, err := dec.Decode(); err != nil {
+					panic(err)
+				}
+			}
+		},
+	}
+	return []Case{encCase, repairCase, decCase}
+}
+
+func simCases() []Case {
+	runCase := Case{
+		Name:       "sim/EventEngine/ScheduleRun",
+		RateName:   "events_per_sec",
+		UnitsPerOp: 1,
+	}
+	{
+		const depth = 1024
+		e := sim.NewEngine()
+		var refill func()
+		refill = func() { e.After(time.Microsecond, refill) }
+		for i := 0; i < depth; i++ {
+			e.After(sim.Time(i), refill)
+		}
+		runCase.Fn = func(n int) {
+			for i := 0; i < n; i++ {
+				e.Step()
+			}
+		}
+	}
+	cancelCase := Case{
+		Name:       "sim/EventEngine/ScheduleCancel",
+		RateName:   "timers_per_sec",
+		UnitsPerOp: 1,
+	}
+	{
+		e := sim.NewEngine()
+		var keepalive func()
+		keepalive = func() { e.After(time.Microsecond, keepalive) }
+		e.After(time.Microsecond, keepalive)
+		nop := func() {}
+		cancelCase.Fn = func(n int) {
+			for i := 0; i < n; i++ {
+				tm := e.After(time.Millisecond, nop)
+				tm.Cancel()
+				if i%1024 == 0 {
+					e.Step()
+				}
+			}
+		}
+	}
+	return []Case{runCase, cancelCase}
+}
+
+func e2eCases(quick bool) []Case {
+	sc := harness.BenchScale()
+	if quick {
+		sc.Sessions = 40
+	}
+	var fig1aMean float64
+	fig1a := Case{
+		Name:    fmt.Sprintf("e2e/Fig1aRQ3/sessions=%d", sc.Sessions),
+		OneShot: true,
+		Fn: func(n int) {
+			for i := 0; i < n; i++ {
+				goodputs := harness.RunFig1RQ(sc, harness.PatternMulticast, 3)
+				fig1aMean = mean(goodputs)
+			}
+		},
+		Metrics: func() map[string]float64 {
+			return map[string]float64{"mean_goodput_gbps": fig1aMean}
+		},
+	}
+
+	opt := harness.BenchIncastOptions()
+	senders, bytes := 12, int64(256<<10)
+	if quick {
+		senders, bytes = 8, 70<<10
+	}
+	var incastGoodput float64
+	incast := Case{
+		Name:    fmt.Sprintf("e2e/IncastRQ/%dx%dKB", senders, bytes>>10),
+		OneShot: true,
+		Fn: func(n int) {
+			for i := 0; i < n; i++ {
+				incastGoodput = harness.RunIncastRQ(opt, senders, bytes, 1)
+			}
+		},
+		Metrics: func() map[string]float64 {
+			return map[string]float64{"goodput_gbps": incastGoodput}
+		},
+	}
+	return []Case{fig1a, incast}
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -122,8 +122,10 @@ func (d *Decoder) Decode() ([][]byte, error) {
 	}
 	sol := newSolver(d.p.L, d.t)
 	addConstraintRows(sol, d.p)
+	var scratch []int32 // reused LT expansion; addBinaryRow copies it
 	for esi, sym := range d.recv {
-		sol.addBinaryRow(d.p.LTIndices(esi), sym)
+		scratch = d.p.AppendLTIndices(scratch[:0], esi)
+		sol.addBinaryRow(scratch, sym)
 	}
 	c, err := sol.solve()
 	if err != nil {
@@ -136,7 +138,8 @@ func (d *Decoder) Decode() ([][]byte, error) {
 			continue
 		}
 		buf := make([]byte, d.t)
-		for _, col := range d.p.LTIndices(uint32(i)) {
+		scratch = d.p.AppendLTIndices(scratch[:0], uint32(i))
+		for _, col := range scratch {
 			gf256.AddRow(buf, c[col])
 		}
 		out[i] = buf

@@ -2,6 +2,7 @@ package raptorq
 
 import (
 	"fmt"
+	"sync"
 
 	"polyraptor/internal/gf256"
 )
@@ -66,13 +67,26 @@ func hdpcSeed(p Params) uint64 {
 // 2^32-1, making the code rateless.
 //
 // An Encoder is safe for concurrent use after construction: Symbol only
-// reads the intermediate symbols.
+// reads the intermediate symbols, and the repair-expansion cache is
+// internally synchronised.
 type Encoder struct {
 	p   Params
 	t   int
-	c   [][]byte // L intermediate symbols
-	src [][]byte // source symbols (referenced, not copied)
+	c   [][]byte   // L intermediate symbols
+	src [][]byte   // source symbols (referenced, not copied)
+	mu  sync.Mutex // guards ltRepair
+	// ltRepair memoises LT expansions of repair ESIs. Entries are
+	// immutable once stored, so readers copy the reference out under mu
+	// and XOR outside it. Bounded: serving the same object to many
+	// receivers revisits the same repair ESIs (disjoint residue classes
+	// per sender index), while a one-shot unicast stream pays one map
+	// insert per symbol until the cap and nothing after.
+	ltRepair map[uint32][]int32
 }
+
+// ltRepairCacheCap bounds the repair-expansion memo (~a few hundred KB
+// at the default symbol sizes).
+const ltRepairCacheCap = 4096
 
 // NewEncoder builds an encoder for the given source symbols. All
 // symbols must be non-empty and the same size. The source slice is
@@ -101,8 +115,10 @@ func NewEncoder(source [][]byte) (*Encoder, error) {
 	}
 	sol := newSolver(p.L, t)
 	addConstraintRows(sol, p)
+	var scratch []int32 // reused LT expansion; addBinaryRow copies it
 	for i := 0; i < k; i++ {
-		sol.addBinaryRow(p.LTIndices(uint32(i)), source[i])
+		scratch = p.AppendLTIndices(scratch[:0], uint32(i))
+		sol.addBinaryRow(scratch, source[i])
 	}
 	c, err := sol.solve()
 	if err != nil {
@@ -110,7 +126,26 @@ func NewEncoder(source [][]byte) (*Encoder, error) {
 		// so this is unreachable unless the cache was poisoned.
 		return nil, fmt.Errorf("raptorq: precode solve failed: %w", err)
 	}
-	return &Encoder{p: p, t: t, c: c, src: source}, nil
+	return &Encoder{
+		p: p, t: t, c: c, src: source,
+		ltRepair: make(map[uint32][]int32),
+	}, nil
+}
+
+// ltIndices returns the memoised LT expansion for a repair ESI. Source
+// ESIs never reach it: AppendSymbol's systematic fast path returns the
+// source symbol directly.
+func (e *Encoder) ltIndices(esi uint32) []int32 {
+	e.mu.Lock()
+	idx, ok := e.ltRepair[esi]
+	if !ok {
+		idx = e.p.LTIndices(esi)
+		if len(e.ltRepair) < ltRepairCacheCap {
+			e.ltRepair[esi] = idx
+		}
+	}
+	e.mu.Unlock()
+	return idx
 }
 
 // K returns the number of source symbols.
@@ -132,15 +167,21 @@ func (e *Encoder) Symbol(esi uint32) []byte {
 }
 
 // AppendSymbol appends encoding symbol esi to dst and returns the
-// extended slice. It performs no allocation when dst has capacity.
+// extended slice. It performs no allocation when dst has capacity and
+// the expansion for esi is already cached.
 func (e *Encoder) AppendSymbol(dst []byte, esi uint32) []byte {
 	start := len(dst)
 	if int(esi) < e.p.K && esi < uint32(len(e.src)) {
 		return append(dst, e.src[esi]...)
 	}
-	dst = append(dst, make([]byte, e.t)...)
+	if cap(dst)-start >= e.t {
+		dst = dst[:start+e.t]
+		clear(dst[start:])
+	} else {
+		dst = append(dst, make([]byte, e.t)...)
+	}
 	buf := dst[start:]
-	for _, c := range e.p.LTIndices(esi) {
+	for _, c := range e.ltIndices(esi) {
 		gf256.AddRow(buf, e.c[c])
 	}
 	return dst

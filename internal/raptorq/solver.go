@@ -55,12 +55,19 @@ type solver struct {
 	l int // number of unknowns (intermediate symbols)
 	t int // symbol size in bytes; 0 for structure-only rank checks
 
-	bin   []*binRow
-	dense []*denseRow
+	bin   []binRow
+	dense []denseRow
 
 	// colRows[c] is the set of binary-row indices whose active set
 	// currently contains column c.
 	colRows []map[int32]struct{}
+
+	// Scratch arenas: row symbols and dense coefficients are carved out
+	// of large chunks instead of one heap allocation per row, cutting
+	// allocator and GC pressure during a solve. Chunks are sliced
+	// forward only, so handed-out sub-slices are never reused.
+	symArena   []byte
+	coeffArena []byte
 }
 
 func newSolver(l, t int) *solver {
@@ -74,12 +81,13 @@ func newSolver(l, t int) *solver {
 // addBinaryRow adds the equation XOR(cols) = sym. cols must be
 // distinct. sym is copied; nil is treated as the zero symbol.
 func (s *solver) addBinaryRow(cols []int32, sym []byte) {
-	r := &binRow{
+	rid := int32(len(s.bin))
+	s.bin = append(s.bin, binRow{
 		active: make(map[int32]struct{}, len(cols)),
 		inact:  make(map[int32]struct{}),
 		sym:    s.copySym(sym),
-	}
-	rid := int32(len(s.bin))
+	})
+	r := &s.bin[rid]
 	for _, c := range cols {
 		r.active[c] = struct{}{}
 		if s.colRows[c] == nil {
@@ -87,20 +95,52 @@ func (s *solver) addBinaryRow(cols []int32, sym []byte) {
 		}
 		s.colRows[c][rid] = struct{}{}
 	}
-	s.bin = append(s.bin, r)
 }
 
 // addDenseRow adds the equation sum(coeff[c]*symbol[c]) = sym. coeff
 // must have length l. Both slices are copied.
 func (s *solver) addDenseRow(coeff []byte, sym []byte) {
-	cc := make([]byte, s.l)
+	cc := s.scratchCoeff(s.l)
 	copy(cc, coeff)
-	s.dense = append(s.dense, &denseRow{coeff: cc, sym: s.copySym(sym)})
+	s.dense = append(s.dense, denseRow{coeff: cc, sym: s.copySym(sym)})
 }
 
+// emptySym is the shared zero-length symbol of structure-only solves
+// (t == 0). It must be non-nil: solve's final nil check distinguishes
+// "column never determined" from "determined with an empty symbol".
+var emptySym = make([]byte, 0)
+
 func (s *solver) copySym(sym []byte) []byte {
-	out := make([]byte, s.t)
+	if s.t == 0 {
+		return emptySym
+	}
+	if len(s.symArena) < s.t {
+		n := 64 * s.t
+		if n < 1<<12 {
+			n = 1 << 12
+		}
+		s.symArena = make([]byte, n)
+	}
+	out := s.symArena[:s.t:s.t]
+	s.symArena = s.symArena[s.t:]
 	copy(out, sym)
+	return out
+}
+
+// scratchCoeff returns a zeroed n-byte coefficient row from the arena.
+func (s *solver) scratchCoeff(n int) []byte {
+	if n == 0 {
+		return nil
+	}
+	if len(s.coeffArena) < n {
+		m := 32 * n
+		if m < 1<<12 {
+			m = 1 << 12
+		}
+		s.coeffArena = make([]byte, m)
+	}
+	out := s.coeffArena[:n:n]
+	s.coeffArena = s.coeffArena[n:]
 	return out
 }
 
@@ -136,7 +176,7 @@ func (s *solver) solve() ([][]byte, error) {
 			}
 		}
 		if rid >= 0 {
-			r := s.bin[rid]
+			r := &s.bin[rid]
 			var c int32
 			for col := range r.active {
 				c = col
@@ -147,7 +187,7 @@ func (s *solver) solve() ([][]byte, error) {
 				if orid == rid {
 					continue
 				}
-				o := s.bin[orid]
+				o := &s.bin[orid]
 				delete(o.active, c)
 				symDiff(o.inact, r.inact)
 				if s.t > 0 {
@@ -183,7 +223,7 @@ func (s *solver) solve() ([][]byte, error) {
 			break // unreachable: alive > 0 implies an alive column exists
 		}
 		for orid := range s.colRows[best] {
-			o := s.bin[orid]
+			o := &s.bin[orid]
 			delete(o.active, best)
 			o.inact[best] = struct{}{}
 			if len(o.active) == 1 {
@@ -201,25 +241,27 @@ func (s *solver) solve() ([][]byte, error) {
 	u := len(inactive)
 	var eq [][]byte
 	var eqSym [][]byte
-	for rid, r := range s.bin {
+	for rid := range s.bin {
+		r := &s.bin[rid]
 		if isPivot[rid] || len(r.inact) == 0 {
 			continue
 		}
-		coeff := make([]byte, u)
+		coeff := s.scratchCoeff(u)
 		for c := range r.inact {
 			coeff[inactIdx[c]] = 1
 		}
 		eq = append(eq, coeff)
 		eqSym = append(eqSym, r.sym)
 	}
-	for _, dr := range s.dense {
+	for di := range s.dense {
+		dr := &s.dense[di]
 		for _, pv := range pivots {
 			beta := dr.coeff[pv.col]
 			if beta == 0 {
 				continue
 			}
 			dr.coeff[pv.col] = 0
-			pr := s.bin[pv.row]
+			pr := &s.bin[pv.row]
 			if s.t > 0 {
 				gf256.MulAddRow(dr.sym, pr.sym, beta)
 			}
@@ -227,7 +269,7 @@ func (s *solver) solve() ([][]byte, error) {
 				dr.coeff[c] ^= beta // GF(256) add of beta * 1
 			}
 		}
-		coeff := make([]byte, u)
+		coeff := s.scratchCoeff(u)
 		for i, c := range inactive {
 			coeff[i] = dr.coeff[c]
 		}

@@ -43,23 +43,30 @@ func (p Params) tuple(x uint32) (d int, a, b uint32, d1 int, a1, b1 uint32) {
 // [0, W) followed by d1 indices in the PI region [W, L). The encoding
 // symbol is the XOR of the intermediate symbols at these indices.
 func (p Params) LTIndices(x uint32) []int32 {
+	d, _, _, d1, _, _ := p.tuple(x)
+	return p.AppendLTIndices(make([]int32, 0, d+d1), x)
+}
+
+// AppendLTIndices appends the LT indices of encoding symbol X to dst
+// and returns the extended slice — the allocation-free form of
+// LTIndices for hot paths that reuse a scratch slice.
+func (p Params) AppendLTIndices(dst []int32, x uint32) []int32 {
 	d, a, b, d1, a1, b1 := p.tuple(x)
-	idx := make([]int32, 0, d+d1)
 	for n := 0; n < d; {
 		if b < uint32(p.W) {
-			idx = append(idx, int32(b))
+			dst = append(dst, int32(b))
 			n++
 		}
 		b = (b + a) % uint32(p.Wp)
 	}
 	for n := 0; n < d1; {
 		if b1 < uint32(p.P) {
-			idx = append(idx, int32(p.W)+int32(b1))
+			dst = append(dst, int32(p.W)+int32(b1))
 			n++
 		}
 		b1 = (b1 + a1) % uint32(p.Pp)
 	}
-	return idx
+	return dst
 }
 
 // Degree returns the LT degree of encoding symbol X (excluding the PI

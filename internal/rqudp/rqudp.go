@@ -91,6 +91,12 @@ type Server struct {
 
 	sessions map[string]*serveSession
 	closed   chan struct{}
+
+	// pkt and sym are reusable scratch buffers for outgoing Data
+	// packets; send appends into them instead of allocating per symbol.
+	// They are touched only by the Serve goroutine.
+	pkt []byte
+	sym []byte
 }
 
 // serveSession tracks one receiver's cursors. Sessions are touched
@@ -128,6 +134,8 @@ func NewServer(conn net.PacketConn, object []byte, cfg Config) (*Server, error) 
 		enc:      enc,
 		sessions: make(map[string]*serveSession),
 		closed:   make(chan struct{}),
+		pkt:      make([]byte, 0, cfg.SymbolSize+32),
+		sym:      make([]byte, 0, cfg.SymbolSize),
 	}, nil
 }
 
@@ -292,14 +300,14 @@ func (s *Server) emit(sess *serveSession, flow uint32, to net.Addr) {
 }
 
 func (s *Server) send(flow uint32, sbn int, esi uint32, to net.Addr) {
-	payload := s.enc.Symbol(sbn, esi)
-	out := wire.AppendData(make([]byte, 0, len(payload)+32), wire.Data{
+	s.sym = s.enc.Block(sbn).AppendSymbol(s.sym[:0], esi)
+	s.pkt = wire.AppendData(s.pkt[:0], wire.Data{
 		Flow:    flow,
 		SBN:     uint32(sbn),
 		ESI:     esi,
-		Payload: payload,
+		Payload: s.sym,
 	})
-	_, _ = s.conn.WriteTo(out, to)
+	_, _ = s.conn.WriteTo(s.pkt, to)
 }
 
 // FetchStats reports what happened during a fetch.
@@ -442,7 +450,12 @@ func FetchMultiSourceStats(ctx context.Context, conn net.PacketConn, remotes []n
 				stats.Duplicates++
 			}
 			progress = progress || fresh
-			retries = 0
+			// Only fresh symbols reset the stall budget: a sender
+			// replaying duplicates must not defeat MaxRetries (the fetch
+			// would stall forever instead of aborting).
+			if fresh {
+				retries = 0
+			}
 			if dec.TryDecode() {
 				done := wire.AppendDone(nil, flow)
 				for _, r := range remotes {
@@ -452,8 +465,18 @@ func FetchMultiSourceStats(ctx context.Context, conn net.PacketConn, remotes []n
 				obj, err := dec.Object()
 				return obj, stats, err
 			}
-			// Receiver-driven clocking: one pull per arrival, addressed
-			// to the sender that delivered (its path has capacity).
+			if !fresh {
+				// No pull for a duplicate: clocking credits off
+				// duplicates would let a replaying sender sustain a
+				// data->pull->data ping-pong that keeps the socket warm
+				// and starves the stall guard, defeating MaxRetries.
+				// The sender goes quiet instead and the stall guard
+				// takes over.
+				continue
+			}
+			// Receiver-driven clocking: one pull per fresh arrival,
+			// addressed to the sender that delivered (its path has
+			// capacity).
 			pull := wire.AppendPull(nil, wire.Pull{Flow: flow, Credits: 1})
 			_, _ = conn.WriteTo(pull, from)
 		}

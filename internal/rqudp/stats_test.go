@@ -6,6 +6,8 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"polyraptor/internal/wire"
 )
 
 func TestFetchStatsUnicast(t *testing.T) {
@@ -71,6 +73,85 @@ func TestFetchStatsMultiSourceBalance(t *testing.T) {
 		if n < fair/4 {
 			t.Fatalf("sender %d contributed %d of fair share %d", i, n, fair)
 		}
+	}
+}
+
+// duplicateSender is a misbehaving sender that answers every Hello
+// with a valid Announce and every Hello/Pull with the same Data symbol
+// (SBN 0, ESI 0) over and over. A correct receiver must hit the
+// MaxRetries abort: duplicates are not progress.
+func duplicateSender(t *testing.T, symbolSize int) net.Addr {
+	t.Helper()
+	conn := newUDP(t)
+	t.Cleanup(func() { conn.Close() })
+	payload := make([]byte, symbolSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	go func() {
+		buf := make([]byte, 65536)
+		for {
+			n, from, err := conn.ReadFrom(buf)
+			if err != nil {
+				return
+			}
+			hdr, _, err := wire.ParseHeader(buf[:n])
+			if err != nil {
+				continue
+			}
+			switch hdr.Type {
+			case wire.MsgHello:
+				out := wire.AppendAnnounce(nil, wire.Announce{
+					Flow:       hdr.Flow,
+					ObjectSize: uint64(2 * symbolSize), // K=2: never decodable from one symbol
+					SymbolSize: uint32(symbolSize),
+					MaxK:       256,
+				})
+				_, _ = conn.WriteTo(out, from)
+				fallthrough
+			case wire.MsgPull:
+				out := wire.AppendData(nil, wire.Data{
+					Flow:    hdr.Flow,
+					SBN:     0,
+					ESI:     0,
+					Payload: payload,
+				})
+				_, _ = conn.WriteTo(out, from)
+			}
+		}
+	}()
+	return conn.LocalAddr()
+}
+
+// Regression (ISSUE 3): a sender replaying duplicate symbols used to
+// reset the retry counter on every Data packet, defeating MaxRetries —
+// the fetch would stall forever instead of aborting.
+func TestDuplicatesOnlySenderHitsRetryAbort(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RetryInterval = 10 * time.Millisecond
+	cfg.MaxRetries = 3
+	sender := duplicateSender(t, cfg.SymbolSize)
+	conn := newUDP(t)
+	defer conn.Close()
+	// The context bounds the test if the bug regresses (infinite stall);
+	// the fetch itself must abort well before the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, stats, err := FetchMultiSourceStats(ctx, conn, []net.Addr{sender}, 21, cfg)
+	if err == nil {
+		t.Fatal("duplicates-only fetch succeeded?!")
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("fetch hit the test deadline instead of the MaxRetries abort: %v", err)
+	}
+	if stats.Retries <= cfg.MaxRetries {
+		t.Fatalf("retries = %d, want > MaxRetries (%d)", stats.Retries, cfg.MaxRetries)
+	}
+	if stats.Duplicates == 0 {
+		t.Fatal("no duplicates recorded; sender misbehaving in the wrong way")
+	}
+	if stats.Symbols != 1 {
+		t.Fatalf("fresh symbols = %d, want exactly 1", stats.Symbols)
 	}
 }
 

@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleRun measures raw event throughput: a self-refilling
+// queue of depth 1024, each fired event scheduling its replacement —
+// the steady-state shape of a packet-level simulation.
+func BenchmarkScheduleRun(b *testing.B) {
+	const depth = 1024
+	e := NewEngine()
+	var refill func()
+	refill = func() { e.After(time.Microsecond, refill) }
+	for i := 0; i < depth; i++ {
+		e.After(time.Duration(i), refill)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkScheduleCancel measures the timer churn pattern of the TCP
+// and Polyraptor endpoints: schedule a timeout, then cancel it before
+// it fires (the common case — RTOs almost never expire).
+func BenchmarkScheduleCancel(b *testing.B) {
+	e := NewEngine()
+	// Keep one live event so the queue never empties.
+	var keepalive func()
+	keepalive = func() { e.After(time.Microsecond, keepalive) }
+	e.After(time.Microsecond, keepalive)
+	nop := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := e.After(time.Millisecond, nop)
+		tm.Cancel()
+		if i%1024 == 0 {
+			e.Step()
+		}
+	}
+}

@@ -1,14 +1,19 @@
 // Package sim provides a deterministic discrete-event simulation
-// engine: a monotonic virtual clock, a binary-heap event queue with
-// stable FIFO ordering for simultaneous events, and seedable RNG
+// engine: a monotonic virtual clock, an indexed 4-ary heap event queue
+// with stable FIFO ordering for simultaneous events, and seedable RNG
 // streams. All of Polyraptor's protocol evaluation (the network
 // simulator, the TCP baseline and the experiment harness) runs on this
 // engine; determinism per seed is what makes the paper's
 // five-seed error bars reproducible.
+//
+// The queue holds events by value in a flat slice (no per-event heap
+// allocation in steady state) and timers are generation-tagged handles
+// into a slot table, so Cancel removes the event from the heap in
+// O(log n) with no tombstones: the head of the queue is always a live
+// event, and cancelling an already-fired timer touches nothing.
 package sim
 
 import (
-	"container/heap"
 	"math/rand"
 	"time"
 )
@@ -17,32 +22,20 @@ import (
 // so durations, rates and pretty-printing come for free.
 type Time = time.Duration
 
-// Event is a scheduled callback.
+// event is a scheduled callback, stored by value in the heap.
 type event struct {
-	at  Time
-	seq uint64 // tie-break: FIFO among simultaneous events
-	fn  func()
-	id  uint64
+	at   Time
+	seq  uint64 // tie-break: FIFO among simultaneous events
+	fn   func()
+	slot int32 // index into Engine.slots
 }
 
-type eventQueue []*event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+// slot maps a timer handle to its heap position. gen disambiguates
+// reuses of the same slot: a Timer carries the generation it was issued
+// with, and Cancel is a no-op unless the generations still match.
+type slot struct {
+	pos int32 // index into Engine.queue, or -1 when not queued
+	gen uint32
 }
 
 // Engine is a single-threaded discrete-event scheduler. It is not safe
@@ -50,16 +43,16 @@ func (q *eventQueue) Pop() any {
 // programs by design.
 type Engine struct {
 	now       Time
-	queue     eventQueue
+	queue     []event // indexed 4-ary min-heap ordered by (at, seq)
 	seq       uint64
-	nextID    uint64
-	cancelled map[uint64]bool
+	slots     []slot
+	free      []int32 // free slot indices
 	processed uint64
 }
 
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine {
-	return &Engine{cancelled: make(map[uint64]bool)}
+	return &Engine{}
 }
 
 // Now returns the current simulated time.
@@ -68,14 +61,16 @@ func (e *Engine) Now() Time { return e.now }
 // Processed returns the number of events executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending returns the number of events still queued (including
-// cancelled events not yet reaped).
+// Pending returns the number of live events still queued. Cancelled
+// events are removed immediately, so this is exact.
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// Timer identifies a scheduled event for cancellation.
+// Timer identifies a scheduled event for cancellation. The zero Timer
+// is valid and Cancel on it is a no-op.
 type Timer struct {
-	id     uint64
 	engine *Engine
+	slot   int32
+	gen    uint32
 }
 
 // At schedules fn at absolute time t. Scheduling in the past panics:
@@ -85,10 +80,20 @@ func (e *Engine) At(t Time, fn func()) Timer {
 		panic("sim: scheduling event in the past")
 	}
 	e.seq++
-	e.nextID++
-	ev := &event{at: t, seq: e.seq, fn: fn, id: e.nextID}
-	heap.Push(&e.queue, ev)
-	return Timer{id: ev.id, engine: e}
+	var s int32
+	if n := len(e.free); n > 0 {
+		s = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.slots = append(e.slots, slot{})
+		s = int32(len(e.slots) - 1)
+	}
+	sl := &e.slots[s]
+	sl.gen++
+	sl.pos = int32(len(e.queue))
+	e.queue = append(e.queue, event{at: t, seq: e.seq, fn: fn, slot: s})
+	e.siftUp(len(e.queue) - 1)
+	return Timer{engine: e, slot: s, gen: sl.gen}
 }
 
 // After schedules fn after delay d.
@@ -96,29 +101,61 @@ func (e *Engine) After(d Time, fn func()) Timer {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel prevents a scheduled event from firing. Cancelling an
-// already-fired or already-cancelled timer is a no-op.
+// Cancel prevents a scheduled event from firing, removing it from the
+// queue in O(log n). Cancelling an already-fired or already-cancelled
+// timer is a no-op and leaves no residual state: the generation tag
+// stops a stale handle from touching a reused slot.
 func (t Timer) Cancel() {
-	if t.engine != nil && t.id != 0 {
-		t.engine.cancelled[t.id] = true
+	e := t.engine
+	if e == nil {
+		return
+	}
+	sl := &e.slots[t.slot]
+	if sl.gen != t.gen || sl.pos < 0 {
+		return
+	}
+	e.removeAt(int(sl.pos))
+}
+
+// Active reports whether the timer is still queued (scheduled, not yet
+// fired or cancelled).
+func (t Timer) Active() bool {
+	if t.engine == nil {
+		return false
+	}
+	sl := &t.engine.slots[t.slot]
+	return sl.gen == t.gen && sl.pos >= 0
+}
+
+// removeAt deletes the event at heap index i, releasing its slot.
+func (e *Engine) removeAt(i int) {
+	s := e.queue[i].slot
+	e.slots[s].pos = -1
+	e.free = append(e.free, s)
+	n := len(e.queue) - 1
+	if i != n {
+		e.queue[i] = e.queue[n]
+		e.slots[e.queue[i].slot].pos = int32(i)
+	}
+	e.queue[n] = event{} // release the fn reference
+	e.queue = e.queue[:n]
+	if i < n && !e.siftDown(i) {
+		e.siftUp(i)
 	}
 }
 
 // Step executes the next event. It returns false when the queue is
 // empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*event)
-		if e.cancelled[ev.id] {
-			delete(e.cancelled, ev.id)
-			continue
-		}
-		e.now = ev.at
-		e.processed++
-		ev.fn()
-		return true
+	if len(e.queue) == 0 {
+		return false
 	}
-	return false
+	ev := e.queue[0]
+	e.removeAt(0)
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
 }
 
 // Run executes events until the queue is empty.
@@ -128,7 +165,9 @@ func (e *Engine) Run() {
 }
 
 // RunUntil executes events with timestamps <= deadline, leaving later
-// events queued and the clock at min(deadline, last event time).
+// events queued and the clock at min(deadline, last event time). The
+// head of the queue is always live (cancellation removes eagerly), so
+// the deadline check is exact.
 func (e *Engine) RunUntil(deadline Time) {
 	for len(e.queue) > 0 && e.queue[0].at <= deadline {
 		e.Step()
@@ -140,6 +179,60 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // RunFor executes events for d simulated time from now.
 func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// less orders heap entries by (at, seq): time order with FIFO
+// tie-breaking for simultaneous events.
+func (e *Engine) less(i, j int) bool {
+	if e.queue[i].at != e.queue[j].at {
+		return e.queue[i].at < e.queue[j].at
+	}
+	return e.queue[i].seq < e.queue[j].seq
+}
+
+func (e *Engine) swap(i, j int) {
+	e.queue[i], e.queue[j] = e.queue[j], e.queue[i]
+	e.slots[e.queue[i].slot].pos = int32(i)
+	e.slots[e.queue[j].slot].pos = int32(j)
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 4
+		if !e.less(i, p) {
+			break
+		}
+		e.swap(i, p)
+		i = p
+	}
+}
+
+// siftDown restores heap order below i and reports whether i moved.
+func (e *Engine) siftDown(i int) bool {
+	start := i
+	n := len(e.queue)
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if e.less(j, m) {
+				m = j
+			}
+		}
+		if !e.less(m, i) {
+			break
+		}
+		e.swap(i, m)
+		i = m
+	}
+	return i > start
+}
 
 // RNG returns a deterministic random stream derived from seed and a
 // stream label, so independent components (workload arrivals, ECMP

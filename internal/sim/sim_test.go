@@ -136,6 +136,203 @@ func TestEventsScheduledDuringRun(t *testing.T) {
 	}
 }
 
+// Regression (ISSUE 3): RunUntil must never execute events past the
+// deadline. The old engine left cancelled events in the heap, so a
+// cancelled head with at <= deadline made Step skip it and fire the
+// next live event unconditionally — even when that event was later
+// than the deadline.
+func TestRunUntilRespectsDeadlineWithCancelledHead(t *testing.T) {
+	e := NewEngine()
+	tm := e.At(10*time.Microsecond, func() { t.Error("cancelled event fired") })
+	fired := false
+	e.At(30*time.Microsecond, func() { fired = true })
+	tm.Cancel()
+	e.RunUntil(20 * time.Microsecond)
+	if fired {
+		t.Fatal("RunUntil executed an event past the deadline")
+	}
+	if e.Now() != 20*time.Microsecond {
+		t.Fatalf("Now = %v, want 20µs", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("later event never fired")
+	}
+}
+
+// Regression (ISSUE 3): cancelling an already-fired timer must leave no
+// residual engine state. The old engine inserted a cancelled-map entry
+// that was never reaped — a permanent per-cancel leak in long
+// simulations.
+func TestCancelAfterFireLeavesNoResidualState(t *testing.T) {
+	e := NewEngine()
+	var timers []Timer
+	for i := 0; i < 1000; i++ {
+		timers = append(timers, e.After(Time(i), func() {}))
+	}
+	e.Run()
+	for _, tm := range timers {
+		tm.Cancel()
+		tm.Cancel() // double-cancel after fire is also a no-op
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+	if live := len(e.slots) - len(e.free); live != 0 {
+		t.Fatalf("%d slots still held after cancel-after-fire", live)
+	}
+}
+
+// A stale Timer handle whose slot has been reused by a newer event must
+// not cancel that newer event: the generation tag protects it.
+func TestStaleCancelDoesNotKillReusedSlot(t *testing.T) {
+	e := NewEngine()
+	old := e.At(time.Microsecond, func() {})
+	e.Run() // fires; slot returns to the free list
+	fired := false
+	e.After(time.Microsecond, func() { fired = true }) // reuses the slot
+	old.Cancel()                                       // stale handle
+	e.Run()
+	if !fired {
+		t.Fatal("stale Cancel removed a reused slot's event")
+	}
+}
+
+func TestTimerActive(t *testing.T) {
+	var zero Timer
+	if zero.Active() {
+		t.Fatal("zero Timer reports active")
+	}
+	e := NewEngine()
+	tm := e.At(time.Microsecond, func() {})
+	if !tm.Active() {
+		t.Fatal("scheduled timer not active")
+	}
+	tm.Cancel()
+	if tm.Active() {
+		t.Fatal("cancelled timer still active")
+	}
+	tm2 := e.At(time.Microsecond, func() {})
+	e.Run()
+	if tm2.Active() {
+		t.Fatal("fired timer still active")
+	}
+}
+
+// refModel is a brute-force reference event queue: a flat slice scanned
+// linearly, with the same (at, seq) ordering contract as the engine.
+type refModel struct {
+	now    Time
+	seq    uint64
+	events []refEvent
+}
+
+type refEvent struct {
+	at   Time
+	seq  uint64
+	id   int
+	dead bool
+}
+
+func (m *refModel) schedule(at Time, id int) int {
+	m.seq++
+	m.events = append(m.events, refEvent{at: at, seq: m.seq, id: id})
+	return len(m.events) - 1
+}
+
+func (m *refModel) cancel(idx int) { m.events[idx].dead = true }
+
+// runUntil fires all live events with at <= deadline in (at, seq)
+// order, appending fired ids to log, and returns the updated log.
+func (m *refModel) runUntil(deadline Time, log []int) []int {
+	for {
+		best := -1
+		for i, ev := range m.events {
+			if ev.dead || ev.at > deadline {
+				continue
+			}
+			if best < 0 || ev.at < m.events[best].at ||
+				(ev.at == m.events[best].at && ev.seq < m.events[best].seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		m.now = m.events[best].at
+		log = append(log, m.events[best].id)
+		m.events[best].dead = true
+	}
+	if m.now < deadline {
+		m.now = deadline
+	}
+	return log
+}
+
+// TestRandomizedAgainstReferenceModel drives the engine and a
+// brute-force model through the same random schedule/cancel/run-until
+// trace and requires identical firing order, clock and live-event
+// count at every step. Fixed seeds keep failures reproducible.
+func TestRandomizedAgainstReferenceModel(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := RNG(seed, "sim-stress")
+		e := NewEngine()
+		m := &refModel{}
+		var got, want []int
+		type live struct {
+			tm  Timer
+			ref int
+		}
+		var timers []live // includes fired ones: cancel-after-fire is exercised too
+		nextID := 0
+		for op := 0; op < 4000; op++ {
+			switch r := rng.Float64(); {
+			case r < 0.55:
+				at := e.Now() + Time(rng.Intn(1000))
+				id := nextID
+				nextID++
+				tm := e.At(at, func() { got = append(got, id) })
+				ref := m.schedule(at, id)
+				timers = append(timers, live{tm, ref})
+			case r < 0.80 && len(timers) > 0:
+				i := rng.Intn(len(timers))
+				timers[i].tm.Cancel()
+				// Mirror in the model only if the event hasn't fired;
+				// Cancel after fire must be a no-op in both.
+				if !m.events[timers[i].ref].dead {
+					m.cancel(timers[i].ref)
+				}
+			default:
+				deadline := e.Now() + Time(rng.Intn(500))
+				e.RunUntil(deadline)
+				want = m.runUntil(deadline, want)
+			}
+			if e.Now() != m.now {
+				t.Fatalf("seed %d op %d: clock %v, model %v", seed, op, e.Now(), m.now)
+			}
+		}
+		e.Run()
+		want = m.runUntil(1<<62, want)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d events, model fired %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: firing order diverges at %d: engine %d, model %d", seed, i, got[i], want[i])
+			}
+		}
+		if e.Pending() != 0 {
+			t.Fatalf("seed %d: Pending = %d after Run", seed, e.Pending())
+		}
+		if liveSlots := len(e.slots) - len(e.free); liveSlots != 0 {
+			t.Fatalf("seed %d: %d slots leaked", seed, liveSlots)
+		}
+	}
+}
+
 func TestRNGDeterminismAndIndependence(t *testing.T) {
 	a1 := RNG(42, "arrivals")
 	a2 := RNG(42, "arrivals")
