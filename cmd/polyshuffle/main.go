@@ -1,0 +1,193 @@
+// Command polyshuffle runs the many-to-many shuffle experiment: every
+// mapper transfers one distinct partition to every reducer (the full
+// M×R matrix at once), compared across the Polyraptor, TCP and DCTCP
+// transports. The job-level metric is shuffle completion time — the
+// slowest pair gates the job — alongside per-pair FCT percentiles and
+// aggregate goodput. Partition sizes can be Zipf-skewed across
+// reducers and one mapper can be made a straggler.
+//
+// With -runs N the same template is repeated over N SplitMix-derived
+// sub-seeds per backend on the sweep engine's worker pool and
+// aggregated statistics are printed instead of the single-run table.
+//
+// Examples:
+//
+//	polyshuffle                                  # 8x8 on k=6, all backends
+//	polyshuffle -k 4 -mappers 8 -reducers 4 -bytes 65536
+//	polyshuffle -skew 1.1 -straggler 4           # hot reducers + a 4x straggler mapper
+//	polyshuffle -backend rq,tcp -csv
+//	polyshuffle -runs 5 -json > shuffle.json     # 5 seeds per backend, aggregated
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"polyraptor/internal/harness"
+	"polyraptor/internal/store"
+	"polyraptor/internal/sweep"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// run is main with its dependencies injected, so tests can drive the
+// whole CLI in-process.
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("polyshuffle", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	def := harness.DefaultShuffleOptions() // flag defaults, so -help never disagrees with behaviour
+	var (
+		k         = fs.Int("k", def.FatTreeK, "fat-tree arity (k even; hosts = k^3/4)")
+		mappers   = fs.Int("mappers", def.Mappers, "mapper count M")
+		reducers  = fs.Int("reducers", def.Reducers, "reducer count R (M+R distinct hosts)")
+		bytes     = fs.Int64("bytes", def.BytesPerPair, "mean partition bytes per (mapper, reducer) pair")
+		skew      = fs.Float64("skew", def.Skew, "Zipf skew of partition sizes across reducers (0 = uniform)")
+		straggler = fs.Float64("straggler", def.StragglerFactor, "scale one mapper's partitions by this factor (0 = off)")
+		backends  = fs.String("backend", "all", "comma list of rq|polyraptor, tcp, dctcp, or all")
+		seed      = fs.Int64("seed", 1, "seed (base seed with -runs > 1)")
+		nruns     = fs.Int("runs", 1, "repetitions per backend over derived sub-seeds (1 = single detailed run)")
+		parallel  = fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		jsonOut   = fs.Bool("json", false, "emit aggregated sweep JSON (implies the multi-seed path)")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+
+	// Validate every flag combination up front — including M+R against
+	// the fabric's host count — so an impossible matrix is a clear
+	// immediate error instead of a panic deep in the workload draw.
+	opt := harness.ShuffleOptions{
+		FatTreeK:        *k,
+		Mappers:         *mappers,
+		Reducers:        *reducers,
+		BytesPerPair:    *bytes,
+		Skew:            *skew,
+		StragglerFactor: *straggler,
+	}
+	if err := opt.Validate(); err != nil {
+		fmt.Fprintf(errw, "polyshuffle: %v\n", err)
+		return 2
+	}
+	kinds, err := store.ParseBackends(*backends)
+	if err != nil {
+		fmt.Fprintf(errw, "polyshuffle: %v\n", err)
+		return 2
+	}
+	if *nruns < 1 {
+		fmt.Fprintf(errw, "polyshuffle: -runs must be >= 1, got %d\n", *nruns)
+		return 2
+	}
+	if *csv && *jsonOut {
+		fmt.Fprintln(errw, "polyshuffle: -csv and -json are mutually exclusive")
+		return 2
+	}
+
+	if *nruns > 1 || *jsonOut {
+		return runSweep(opt, kinds, *seed, *nruns, *parallel, *csv, *jsonOut, out, errw)
+	}
+
+	runs, err := harness.RunShuffleAll(opt, kinds, *seed, *parallel)
+	if err != nil {
+		fmt.Fprintf(errw, "polyshuffle: %v\n", err)
+		return 1
+	}
+	if *csv {
+		writeCSV(out, runs)
+		return 0
+	}
+	writeTable(out, opt, runs)
+	return 0
+}
+
+// runSweep is the multi-seed path: the shuffle template repeated over
+// derived sub-seeds per backend, aggregated by the sweep engine.
+func runSweep(opt harness.ShuffleOptions, kinds []store.BackendKind, seed int64, runs, parallel int, csv, jsonOut bool, out, errw io.Writer) int {
+	p := harness.DefaultSweepParams()
+	p.FatTreeK = opt.FatTreeK
+	p.Mappers = opt.Mappers
+	p.Reducers = opt.Reducers
+	p.Bytes = opt.BytesPerPair
+	p.ShuffleSkew = opt.Skew
+	p.Straggler = opt.StragglerFactor
+	var cells []sweep.Cell
+	for _, be := range kinds {
+		cell, err := harness.NewSweepCell("shuffle", be, p)
+		if err != nil {
+			fmt.Fprintf(errw, "polyshuffle: %v\n", err)
+			return 2
+		}
+		cells = append(cells, cell)
+	}
+	res, err := sweep.Matrix{Cells: cells, Seeds: runs, BaseSeed: seed, Parallelism: parallel}.Run()
+	if err != nil {
+		fmt.Fprintf(errw, "polyshuffle: %v\n", err)
+		return 1
+	}
+	switch {
+	case jsonOut:
+		js, err := res.JSON()
+		if err != nil {
+			fmt.Fprintf(errw, "polyshuffle: %v\n", err)
+			return 1
+		}
+		out.Write(js)
+		io.WriteString(out, "\n")
+	case csv:
+		fmt.Fprint(out, res.CSV())
+	default:
+		fmt.Fprint(out, res.Table(nil))
+	}
+	for _, c := range res.Cells {
+		if len(c.Errors) > 0 {
+			fmt.Fprintf(errw, "polyshuffle: backend %s: %d run(s) failed: %s\n",
+				c.Backend, len(c.Errors), c.Errors[0])
+			return 1
+		}
+	}
+	return 0
+}
+
+func writeTable(w io.Writer, opt harness.ShuffleOptions, runs []harness.ShuffleRun) {
+	fmt.Fprintf(w, "== Polyraptor shuffle (many-to-many) ==\n")
+	straggler := "off"
+	if opt.StragglerFactor > 1 {
+		straggler = fmt.Sprintf("%gx", opt.StragglerFactor)
+	}
+	fmt.Fprintf(w, "k=%d, %d mappers x %d reducers (%d pairs), %d KB mean partition, skew=%.2f, straggler=%s\n\n",
+		opt.FatTreeK, opt.Mappers, opt.Reducers, opt.Mappers*opt.Reducers,
+		opt.BytesPerPair>>10, opt.Skew, straggler)
+	fmt.Fprintf(w, "%-11s %10s %10s %10s %10s %9s\n",
+		"backend", "shuffle", "FCTp50ms", "FCTp99ms", "agg Gbps", "vs rq")
+	var rqTime float64
+	for _, r := range runs {
+		if r.Backend == "polyraptor" {
+			rqTime = r.CompletionTime
+		}
+	}
+	for _, r := range runs {
+		slowdown := "-"
+		if rqTime > 0 {
+			slowdown = fmt.Sprintf("%.2fx", r.CompletionTime/rqTime)
+		}
+		fmt.Fprintf(w, "%-11s %8.2fms %10.2f %10.2f %10.3f %9s\n",
+			r.Backend, r.CompletionTime*1e3,
+			r.PairFCT.P50*1e3, r.PairFCT.P99*1e3, r.GoodputGbps, slowdown)
+	}
+}
+
+func writeCSV(w io.Writer, runs []harness.ShuffleRun) {
+	fmt.Fprintln(w, "backend,shuffle_s,pair_fct_p50_s,pair_fct_p95_s,pair_fct_p99_s,goodput_gbps,total_bytes")
+	for _, r := range runs {
+		fmt.Fprintf(w, "%s,%.6f,%.6f,%.6f,%.6f,%.6f,%d\n",
+			r.Backend, r.CompletionTime,
+			r.PairFCT.P50, r.PairFCT.P95, r.PairFCT.P99,
+			r.GoodputGbps, r.TotalBytes)
+	}
+}

@@ -45,7 +45,7 @@ func run(args []string, out, errw io.Writer) int {
 	def := harness.DefaultSweepParams()
 	stdef := def.Store
 	var (
-		scenarios = fs.String("scenarios", "incast,storage", "comma list of fig1a, fig1b, incast, storage, ablations, or all")
+		scenarios = fs.String("scenarios", "incast,storage", "comma list of fig1a, fig1b, incast, shuffle, storage, ablations, or all")
 		backends  = fs.String("backends", "all", "comma list of rq|polyraptor, tcp, dctcp, or all")
 		seeds     = fs.Int("seeds", 5, "repetitions per cell (paper: 5)")
 		seed      = fs.Int64("seed", 1, "base seed for sub-seed derivation")
@@ -58,6 +58,11 @@ func run(args []string, out, errw io.Writer) int {
 		senders  = fs.Int("senders", def.Senders, "incast fan-in")
 		sessions = fs.Int("sessions", def.Sessions, "fig1a/fig1b session count")
 		load     = fs.Float64("load", def.LoadFactor, "fig1a/fig1b offered-load fraction")
+
+		mappers   = fs.Int("mappers", def.Mappers, "shuffle: mapper count M")
+		reducers  = fs.Int("reducers", def.Reducers, "shuffle: reducer count R (M+R distinct hosts)")
+		skew      = fs.Float64("skew", def.ShuffleSkew, "shuffle: Zipf skew of partition sizes across reducers")
+		straggler = fs.Float64("straggler", def.Straggler, "shuffle: scale one mapper's partitions by this factor (0 = off)")
 
 		objects  = fs.Int("objects", stdef.Objects, "storage: pre-loaded catalogue objects")
 		requests = fs.Int("requests", stdef.Requests, "storage: client requests")
@@ -87,6 +92,10 @@ func run(args []string, out, errw io.Writer) int {
 	p.Senders = *senders
 	p.Sessions = *sessions
 	p.LoadFactor = *load
+	p.Mappers = *mappers
+	p.Reducers = *reducers
+	p.ShuffleSkew = *skew
+	p.Straggler = *straggler
 	p.Store.FatTreeK = *k
 	p.Store.ObjectBytes = *bytes
 	p.Store.Replicas = *replicas
@@ -217,6 +226,18 @@ func validateParams(p harness.SweepParams, scenarios []string) error {
 		case "incast":
 			if err := topology.CheckFanout(p.FatTreeK, p.Senders, "senders"); err != nil {
 				return fmt.Errorf("incast %w", err)
+			}
+		case "shuffle":
+			opt := harness.ShuffleOptions{
+				FatTreeK:        p.FatTreeK,
+				Mappers:         p.Mappers,
+				Reducers:        p.Reducers,
+				BytesPerPair:    p.Bytes,
+				Skew:            p.ShuffleSkew,
+				StragglerFactor: p.Straggler,
+			}
+			if err := opt.Validate(); err != nil {
+				return err
 			}
 		case "fig1a", "fig1b":
 			if err := topology.CheckFanout(p.FatTreeK, p.Replicas, "replicas"); err != nil {

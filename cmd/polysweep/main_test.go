@@ -36,6 +36,23 @@ func TestRunSmokeTable(t *testing.T) {
 	}
 }
 
+// TestRunShuffleScenario: the shuffle cell runs through the CLI and
+// reports its completion-time metric.
+func TestRunShuffleScenario(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run(tinyArgs("-scenarios", "shuffle", "-backends", "rq,tcp",
+		"-mappers", "3", "-reducers", "4"), &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errw.String())
+	}
+	s := out.String()
+	for _, want := range []string{"shuffle/polyraptor", "shuffle/tcp", "shuffle_s", "pair_fct_p99_s"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 // TestRunJSONParallelIdentical: the CLI's acceptance property — JSON
 // on stdout is byte-identical at -parallel 1 and the default pool.
 func TestRunJSONParallelIdentical(t *testing.T) {
@@ -95,6 +112,8 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-k", "4", "-senders", "99", "-scenarios", "incast"},
 		{"-k", "4", "-replicas", "99", "-scenarios", "fig1a"},
 		{"-k", "4", "-replicas", "50", "-scenarios", "storage"},
+		{"-k", "4", "-mappers", "10", "-reducers", "7", "-scenarios", "shuffle"},
+		{"-straggler", "0.5", "-scenarios", "shuffle"},
 		{"-fail", "meteor"},
 		{"-nope"},
 	} {
@@ -112,7 +131,7 @@ func TestParseScenariosAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 5 || got[len(got)-1] != "ablations" {
+	if len(got) != 6 || got[len(got)-1] != "ablations" {
 		t.Fatalf("parseScenarios(all) = %v", got)
 	}
 }

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDemo sweeps a tiny mapper range on a k=4 fabric, parallel and
+// serial, and checks the outputs agree (derived sub-seeds make the
+// table independent of scheduling).
+func TestDemo(t *testing.T) {
+	render := func(parallelism int) string {
+		var out bytes.Buffer
+		if err := demo(&out, 4, []int{2, 4}, 4, 32<<10, 2, parallelism); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	serial := render(1)
+	parallel := render(0)
+	if serial != parallel {
+		t.Fatalf("serial and parallel tables differ:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	for _, want := range []string{"mappers", "RQ (ms)", "±CI95", "TCP/RQ", "all three patterns"} {
+		if !strings.Contains(serial, want) {
+			t.Fatalf("output missing %q:\n%s", want, serial)
+		}
+	}
+}
+
+// TestDemoRejectsImpossibleMatrix: validation surfaces before any
+// simulation runs.
+func TestDemoRejectsImpossibleMatrix(t *testing.T) {
+	var out bytes.Buffer
+	if err := demo(&out, 4, []int{14}, 4, 32<<10, 1, 1); err == nil {
+		t.Fatal("14 mappers + 4 reducers on a 16-host fabric should fail validation")
+	}
+}

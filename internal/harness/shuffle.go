@@ -1,0 +1,193 @@
+package harness
+
+import (
+	"fmt"
+
+	"polyraptor/internal/polyraptor"
+	"polyraptor/internal/sim"
+	"polyraptor/internal/stats"
+	"polyraptor/internal/store"
+	"polyraptor/internal/sweep"
+	"polyraptor/internal/tcpsim"
+	"polyraptor/internal/topology"
+	"polyraptor/internal/workload"
+)
+
+// ShuffleOptions parametrises the many-to-many shuffle experiment: the
+// full mapper×reducer transfer matrix started synchronously, measured
+// by shuffle completion time (the slowest pair gates the job) and
+// per-pair FCT percentiles. Polyraptor runs it as concurrently pulled
+// sessions sharing each reducer's pull pacer; the TCP and DCTCP
+// baselines run one flow per pair (the RepFlow-style multipath FCT
+// reference point).
+type ShuffleOptions struct {
+	// FatTreeK is the fabric arity.
+	FatTreeK int
+	// Mappers and Reducers size the transfer matrix; the hosts are
+	// drawn as disjoint random sets.
+	Mappers, Reducers int
+	// BytesPerPair is the mean partition size.
+	BytesPerPair int64
+	// Skew is the Zipf skew of partition sizes across reducers.
+	Skew float64
+	// StragglerFactor, when > 1, scales one mapper's partitions.
+	StragglerFactor float64
+}
+
+// DefaultShuffleOptions is the cmd/polyshuffle default: a medium
+// fabric with an 8x8 matrix and mildly skewed partitions.
+func DefaultShuffleOptions() ShuffleOptions {
+	return ShuffleOptions{
+		FatTreeK:     6,
+		Mappers:      8,
+		Reducers:     8,
+		BytesPerPair: 256 << 10,
+		Skew:         0.9,
+	}
+}
+
+// Validate surfaces impossible shuffle configurations before anything
+// runs — the same up-front contract as the other scenario params.
+func (o ShuffleOptions) Validate() error {
+	if err := topology.CheckArity(o.FatTreeK); err != nil {
+		return err
+	}
+	if o.Mappers < 1 || o.Reducers < 1 {
+		return fmt.Errorf("shuffle needs >= 1 mapper and >= 1 reducer, got %dx%d", o.Mappers, o.Reducers)
+	}
+	if hosts := topology.HostsFor(o.FatTreeK); o.Mappers+o.Reducers > hosts {
+		return fmt.Errorf("shuffle needs %d distinct hosts, k=%d fabric has %d",
+			o.Mappers+o.Reducers, o.FatTreeK, hosts)
+	}
+	if o.BytesPerPair < 1 {
+		return fmt.Errorf("shuffle needs bytes >= 1, got %d", o.BytesPerPair)
+	}
+	if o.Skew < 0 {
+		return fmt.Errorf("shuffle skew must be non-negative, got %g", o.Skew)
+	}
+	if o.StragglerFactor != 0 && o.StragglerFactor < 1 {
+		return fmt.Errorf("shuffle straggler factor must be 0 (off) or >= 1, got %g", o.StragglerFactor)
+	}
+	return nil
+}
+
+func (o ShuffleOptions) workloadConfig(seed int64) workload.ShuffleConfig {
+	return workload.ShuffleConfig{
+		Mappers:         o.Mappers,
+		Reducers:        o.Reducers,
+		BytesPerPair:    o.BytesPerPair,
+		Skew:            o.Skew,
+		StragglerFactor: o.StragglerFactor,
+		Seed:            seed,
+	}
+}
+
+// ShuffleRun is one shuffle's reduced measurements.
+type ShuffleRun struct {
+	// Backend names the transport.
+	Backend string
+	// CompletionTime is the shuffle completion time in seconds: the
+	// max over pair completion times (the job-level metric).
+	CompletionTime float64
+	// PairFCT summarises per-pair flow completion times in seconds.
+	PairFCT stats.Summary
+	// GoodputGbps is aggregate goodput: total bytes over completion
+	// time.
+	GoodputGbps float64
+	// TotalBytes is the volume moved.
+	TotalBytes int64
+}
+
+// RunShuffle runs one shuffle under the named backend for one seed.
+// The workload draw (hosts, partition matrix, straggler) depends only
+// on the seed, so backends compare on identical matrices.
+func RunShuffle(opt ShuffleOptions, backend store.BackendKind, seed int64) ShuffleRun {
+	if err := opt.Validate(); err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	ft, err := topology.NewFatTree(opt.FatTreeK, backend.NetConfig(seed))
+	if err != nil {
+		panic(err)
+	}
+	sh := workload.GenerateShuffle(opt.workloadConfig(seed), ft)
+	pairs := opt.Mappers * opt.Reducers
+
+	fcts := make([]float64, 0, pairs)
+	var last sim.Time
+	if backend == store.BackendPolyraptor {
+		sys := polyraptor.NewSystem(ft.Net, polyraptor.DefaultConfig(), seed)
+		sys.PruneGroup = ft.PruneMulticastLeaf
+		done := false
+		sys.StartShuffle(sh.Mappers, sh.Reducers, sh.PairBytes, func(r polyraptor.ShuffleResult) {
+			for i := range r.Pairs {
+				fcts = append(fcts, (r.Pairs[i].Event.End - r.Pairs[i].Event.Start).Seconds())
+			}
+			last = r.End
+			done = true
+		})
+		ft.Net.Eng.Run()
+		if !done {
+			// fcts is only filled by the aggregate callback, so report
+			// the live session counts instead — they point at the stuck
+			// pairs.
+			send, recv := sys.OpenSessions()
+			panic(fmt.Sprintf("harness: shuffle RQ did not complete (%d sender / %d receiver sessions still open)", send, recv))
+		}
+	} else {
+		var sys *tcpsim.System
+		if backend == store.BackendDCTCP {
+			sys = tcpsim.NewSystem(ft.Net, tcpsim.DCTCPConfig())
+		} else {
+			sys = tcpsim.NewSystem(ft.Net, tcpsim.DefaultConfig())
+		}
+		for mi, m := range sh.Mappers {
+			for ri, r := range sh.Reducers {
+				sys.StartFlow(m, r, sh.Bytes[mi][ri], func(fr tcpsim.FlowResult) {
+					fcts = append(fcts, (fr.End - fr.Start).Seconds())
+					if fr.End > last {
+						last = fr.End
+					}
+				})
+			}
+		}
+		ft.Net.Eng.Run()
+		if len(fcts) != pairs {
+			panic(fmt.Sprintf("harness: shuffle %v finished %d/%d pairs", backend, len(fcts), pairs))
+		}
+	}
+
+	total := sh.TotalBytes()
+	return ShuffleRun{
+		Backend:        backend.String(),
+		CompletionTime: last.Seconds(),
+		PairFCT:        stats.Summarize(fcts),
+		GoodputGbps:    gbps(total, last),
+		TotalBytes:     total,
+	}
+}
+
+// RunShuffleAll runs the same shuffle template once per backend on the
+// sweep worker pool — the cmd/polyshuffle single-run path.
+func RunShuffleAll(opt ShuffleOptions, backends []store.BackendKind, seed int64, parallelism int) ([]ShuffleRun, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("harness: no backends selected")
+	}
+	out := make([]ShuffleRun, len(backends))
+	sweep.ForEach(len(backends), parallelism, func(i int) {
+		out[i] = RunShuffle(opt, backends[i], seed)
+	})
+	return out, nil
+}
+
+// shuffleMetrics reduces one run to the scalars a sweep aggregates.
+func shuffleMetrics(r ShuffleRun) sweep.Metrics {
+	return sweep.Metrics{
+		"shuffle_s":      r.CompletionTime,
+		"pair_fct_p50_s": r.PairFCT.P50,
+		"pair_fct_p99_s": r.PairFCT.P99,
+		"goodput_gbps":   r.GoodputGbps,
+	}
+}

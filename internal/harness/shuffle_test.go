@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"polyraptor/internal/store"
+	"polyraptor/internal/sweep"
+)
+
+func tinyShuffleOptions() ShuffleOptions {
+	return ShuffleOptions{
+		FatTreeK:     4,
+		Mappers:      3,
+		Reducers:     4,
+		BytesPerPair: 32 << 10,
+		Skew:         0.9,
+	}
+}
+
+func TestRunShuffleAllBackends(t *testing.T) {
+	// 8 mappers into each reducer is past TCP's incast knee, where the
+	// pattern actually stresses the transport (a 3x4 matrix is too
+	// gentle: uncongested TCP wins on pure RTT).
+	opt := tinyShuffleOptions()
+	opt.Mappers = 8
+	opt.BytesPerPair = 64 << 10
+	runs, err := RunShuffleAll(opt, []store.BackendKind{
+		store.BackendPolyraptor, store.BackendTCP, store.BackendDCTCP,
+	}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]ShuffleRun{}
+	for _, r := range runs {
+		byName[r.Backend] = r
+		if r.PairFCT.N != opt.Mappers*opt.Reducers {
+			t.Fatalf("%s: %d pair FCTs, want %d", r.Backend, r.PairFCT.N, opt.Mappers*opt.Reducers)
+		}
+		if r.CompletionTime <= 0 || r.GoodputGbps <= 0 {
+			t.Fatalf("%s: completion %v s, goodput %v Gbps", r.Backend, r.CompletionTime, r.GoodputGbps)
+		}
+		if r.CompletionTime < r.PairFCT.Max {
+			t.Fatalf("%s: completion %v < slowest pair %v", r.Backend, r.CompletionTime, r.PairFCT.Max)
+		}
+		if r.TotalBytes <= 0 {
+			t.Fatalf("%s: total bytes %d", r.Backend, r.TotalBytes)
+		}
+	}
+	// The paper's claim for the third pattern: the shared pull pacer
+	// keeps the reducers incast-free, so Polyraptor finishes the
+	// shuffle well before loss-recovering TCP (deterministic per seed).
+	if rq, tcp := byName["polyraptor"], byName["tcp"]; rq.CompletionTime >= tcp.CompletionTime {
+		t.Fatalf("polyraptor shuffle (%v s) not faster than tcp (%v s)", rq.CompletionTime, tcp.CompletionTime)
+	}
+}
+
+func TestRunShuffleDeterministicPerSeed(t *testing.T) {
+	opt := tinyShuffleOptions()
+	a := RunShuffle(opt, store.BackendPolyraptor, 3)
+	b := RunShuffle(opt, store.BackendPolyraptor, 3)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	c := RunShuffle(opt, store.BackendPolyraptor, 4)
+	if a == c {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+// TestShuffleSweepParallelMatchesSerial is the shuffle determinism
+// acceptance test: 3 backends x 3 seeds of the shuffle cell produce
+// byte-identical aggregated JSON at parallelism 1 and GOMAXPROCS. Run
+// under -race in CI.
+func TestShuffleSweepParallelMatchesSerial(t *testing.T) {
+	matrix := func(parallelism int) sweep.Matrix {
+		p := tinySweepParams()
+		p.Bytes = 32 << 10
+		var cells []sweep.Cell
+		for _, be := range []store.BackendKind{store.BackendPolyraptor, store.BackendTCP, store.BackendDCTCP} {
+			cell, err := NewSweepCell("shuffle", be, p)
+			if err != nil {
+				t.Fatalf("NewSweepCell(shuffle, %v): %v", be, err)
+			}
+			cells = append(cells, cell)
+		}
+		return sweep.Matrix{Cells: cells, Seeds: 3, BaseSeed: 1, Parallelism: parallelism}
+	}
+	serial, err := matrix(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := matrix(0).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := serial.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := parallel.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Fatalf("parallel shuffle sweep JSON differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", sj, pj)
+	}
+	for _, c := range serial.Cells {
+		if len(c.Errors) > 0 {
+			t.Fatalf("cell %s errored: %v", c.Backend, c.Errors)
+		}
+		for _, name := range []string{"shuffle_s", "pair_fct_p50_s", "pair_fct_p99_s", "goodput_gbps"} {
+			a, ok := c.Metric(name)
+			if !ok || a.N != 3 || a.Mean <= 0 {
+				t.Fatalf("cell %s metric %s = %+v ok=%v, want N=3 mean>0", c.Backend, name, a, ok)
+			}
+		}
+	}
+}
+
+func TestShuffleCellRejectsImpossibleMatrix(t *testing.T) {
+	p := tinySweepParams()
+	p.Mappers = 20 // 20+4 > 16 hosts on k=4
+	if _, err := NewSweepCell("shuffle", store.BackendTCP, p); err == nil {
+		t.Fatal("oversized shuffle matrix accepted")
+	}
+	p = tinySweepParams()
+	p.Straggler = 0.5
+	if _, err := NewSweepCell("shuffle", store.BackendTCP, p); err == nil {
+		t.Fatal("fractional straggler factor accepted")
+	}
+}

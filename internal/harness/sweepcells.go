@@ -33,6 +33,14 @@ type SweepParams struct {
 	LoadFactor float64
 	// Trimming enables NDP packet trimming for the Polyraptor backend.
 	Trimming bool
+	// Mappers and Reducers size the shuffle scenario's transfer matrix
+	// (Bytes is the mean partition size per pair).
+	Mappers, Reducers int
+	// ShuffleSkew is the Zipf skew of partition sizes across reducers.
+	ShuffleSkew float64
+	// Straggler scales one mapper's partitions (0 disables, >= 1
+	// scales).
+	Straggler float64
 	// Store is the storage-cluster template; its Backend and Seed are
 	// overridden per run.
 	Store store.Config
@@ -42,21 +50,37 @@ type SweepParams struct {
 // fabric, sub-second cells) — the CLI scales them up via flags.
 func DefaultSweepParams() SweepParams {
 	return SweepParams{
-		FatTreeK:   4,
-		Bytes:      256 << 10,
-		Replicas:   3,
-		Senders:    8,
-		Sessions:   80,
-		LoadFactor: 0.33,
-		Trimming:   true,
-		Store:      store.ShortConfig(),
+		FatTreeK:    4,
+		Bytes:       256 << 10,
+		Replicas:    3,
+		Senders:     8,
+		Sessions:    80,
+		LoadFactor:  0.33,
+		Trimming:    true,
+		Mappers:     4,
+		Reducers:    4,
+		ShuffleSkew: 0.9,
+		Store:       store.ShortConfig(),
 	}
 }
 
 // SweepScenarios lists the scenario names NewSweepCell accepts, plus
 // the "ablations" bundle expanded by AblationCells.
 func SweepScenarios() []string {
-	return []string{"fig1a", "fig1b", "incast", "storage"}
+	return []string{"fig1a", "fig1b", "incast", "shuffle", "storage"}
+}
+
+// shuffleOptions builds the shuffle scenario options from the shared
+// sweep parameters (Bytes doubles as the mean partition size).
+func (p SweepParams) shuffleOptions() ShuffleOptions {
+	return ShuffleOptions{
+		FatTreeK:        p.FatTreeK,
+		Mappers:         p.Mappers,
+		Reducers:        p.Reducers,
+		BytesPerPair:    p.Bytes,
+		Skew:            p.ShuffleSkew,
+		StragglerFactor: p.Straggler,
+	}
 }
 
 // scale builds the Fig1 Scale for one run seed.
@@ -115,6 +139,20 @@ func NewSweepCell(scenario string, backend store.BackendKind, p SweepParams) (sw
 				return nil, fmt.Errorf("harness: incast does not support backend %v", backend)
 			}
 			return sweep.Metrics{"goodput_gbps": g}, nil
+		})
+	case "shuffle":
+		opt := p.shuffleOptions()
+		if err := opt.Validate(); err != nil {
+			return sweep.Cell{}, fmt.Errorf("harness: %w", err)
+		}
+		cell.Params = map[string]string{
+			"k":        strconv.Itoa(p.FatTreeK),
+			"mappers":  strconv.Itoa(p.Mappers),
+			"reducers": strconv.Itoa(p.Reducers),
+			"bytes":    strconv.FormatInt(p.Bytes, 10),
+		}
+		cell.Runner = sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
+			return shuffleMetrics(RunShuffle(opt, backend, seed)), nil
 		})
 	case "storage":
 		cfg := p.Store

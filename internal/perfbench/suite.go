@@ -9,6 +9,7 @@ import (
 	"polyraptor/internal/harness"
 	"polyraptor/internal/raptorq"
 	"polyraptor/internal/sim"
+	"polyraptor/internal/store"
 )
 
 // rowLen is the row length for the gf256 kernels: the 1436-byte
@@ -252,7 +253,31 @@ func e2eCases(quick bool) []Case {
 			return map[string]float64{"goodput_gbps": incastGoodput}
 		},
 	}
-	return []Case{fig1a, incast}
+
+	// The many-to-many pattern: an M×R transfer matrix of concurrently
+	// pulled sessions — the scenario with the most live sessions per
+	// host, so it tracks the cost of the session-lifecycle layer.
+	sopt := harness.ShuffleOptions{FatTreeK: 4, Mappers: 8, Reducers: 8, BytesPerPair: 128 << 10, Skew: 0.9}
+	if quick {
+		sopt.Mappers, sopt.Reducers, sopt.BytesPerPair = 4, 4, 32<<10
+	}
+	var shuffleRun harness.ShuffleRun
+	shuffle := Case{
+		Name:    fmt.Sprintf("e2e/ShuffleRQ/%dx%dx%dKB", sopt.Mappers, sopt.Reducers, sopt.BytesPerPair>>10),
+		OneShot: true,
+		Fn: func(n int) {
+			for i := 0; i < n; i++ {
+				shuffleRun = harness.RunShuffle(sopt, store.BackendPolyraptor, 1)
+			}
+		},
+		Metrics: func() map[string]float64 {
+			return map[string]float64{
+				"shuffle_s":    shuffleRun.CompletionTime,
+				"goodput_gbps": shuffleRun.GoodputGbps,
+			}
+		},
+	}
+	return []Case{fig1a, incast, shuffle}
 }
 
 func mean(xs []float64) float64 {

@@ -99,6 +99,7 @@ func TestRealCodecDecodesSimulatedUnicastDelivery(t *testing.T) {
 	if !replay(t, object, 256, *esis, done[0].Symbols) {
 		t.Fatalf("real codec failed on the simulator's delivered set (%d symbols)", done[0].Symbols)
 	}
+	assertNoOpenSessions(t, sys)
 }
 
 func TestRealCodecDecodesSimulatedIncastDeliveryWithTrims(t *testing.T) {
@@ -150,6 +151,7 @@ func TestRealCodecDecodesSimulatedIncastDeliveryWithTrims(t *testing.T) {
 				ev.Flow, ev.Symbols, ev.Trims)
 		}
 	}
+	assertNoOpenSessions(t, sys)
 }
 
 func TestRealCodecDecodesMultiSourceDelivery(t *testing.T) {
@@ -172,4 +174,5 @@ func TestRealCodecDecodesMultiSourceDelivery(t *testing.T) {
 	if !replay(t, object, 256, *esis, done[0].Symbols) {
 		t.Fatalf("real codec failed on multi-source delivered set (%d symbols)", done[0].Symbols)
 	}
+	assertNoOpenSessions(t, sys)
 }

@@ -1,9 +1,15 @@
 package polyraptor
 
 import (
+	"time"
+
 	"polyraptor/internal/netsim"
 	"polyraptor/internal/sim"
 )
+
+// doneRetryFallback paces completion-ctrl retransmission when the
+// stall guard (Config.PullTimeout) is disabled.
+const doneRetryFallback = 2 * time.Millisecond
 
 // receiverSession is the receiving half of a Polyraptor session at one
 // host. It counts distinct full symbols, issues one pull per arrival
@@ -31,8 +37,17 @@ type receiverSession struct {
 	// makes duplicates structurally impossible.
 	seen map[int64]struct{}
 
-	timeout      sim.Timer
-	timeoutArmed bool
+	timeout sim.Timer
+
+	// pendingDone holds the sender hosts that have not yet acknowledged
+	// our completion ctrl. The ctrl is a single unreliable packet; were
+	// it simply fired and forgotten, a trimmed-queue drop would leave a
+	// multicast sender waiting on this receiver's pulls forever (its
+	// round can never complete), so complete() retransmits the ctrl on
+	// a timer until every sender has acked and only then tears the
+	// session down.
+	pendingDone map[int32]struct{}
+	doneRetry   sim.Timer
 }
 
 // onData processes an arriving symbol packet (full or trimmed).
@@ -87,7 +102,6 @@ func (rs *receiverSession) armTimeout() {
 	if d <= 0 {
 		return
 	}
-	rs.timeoutArmed = true
 	rs.lastArrival = rs.sys.Net.Now()
 	var fire func()
 	fire = func() {
@@ -97,7 +111,13 @@ func (rs *receiverSession) armTimeout() {
 		now := rs.sys.Net.Now()
 		if now-rs.lastArrival >= d {
 			// Session stalled: every in-flight pull or symbol was
-			// dropped. Re-prime one pull per sender.
+			// dropped. Re-prime one pull per sender. lastArrival is
+			// deliberately NOT updated here — only a data arrival
+			// (onData) moves it — so if the re-primed pulls or their
+			// symbols are lost too, now-lastArrival still exceeds d at
+			// the next firing and the guard keeps re-firing every d
+			// until a symbol actually lands. Pinned by
+			// TestStallGuardRefiresEveryPullTimeout.
 			for _, s := range rs.senders {
 				rs.sys.Agents[rs.receiver].enqueuePull(rs.flow, rs.sys.Agents[s].host.ID)
 			}
@@ -109,7 +129,10 @@ func (rs *receiverSession) armTimeout() {
 
 // complete finishes the session at this receiver: it notifies every
 // sender with a control packet (freeing multicast aggregation from
-// waiting on us) and reports the completion event.
+// waiting on us) and reports the completion event. The ctrl is
+// retransmitted until each sender acknowledges it (see pendingDone);
+// the session object itself is released by onDoneAck once the last
+// ack arrives, so the agent map holds no finished sessions at rest.
 func (rs *receiverSession) complete() {
 	rs.done = true
 	rs.timeout.Cancel()
@@ -117,18 +140,12 @@ func (rs *receiverSession) complete() {
 	if dl := rs.sys.Cfg.DecodeLatency; dl != nil {
 		end += dl(rs.k)
 	}
+	rs.pendingDone = make(map[int32]struct{}, len(rs.senders))
 	for _, s := range rs.senders {
-		rs.sys.Agents[rs.receiver].host.Send(&netsim.Packet{
-			Flow:  rs.flow,
-			Kind:  netsim.KindCtrl,
-			Size:  netsim.HeaderSize,
-			Src:   int32(rs.receiver),
-			Dst:   rs.sys.Agents[s].host.ID,
-			Group: -1,
-			Spray: true,
-		})
+		rs.pendingDone[rs.sys.Agents[s].host.ID] = struct{}{}
 	}
-	delete(rs.sys.Agents[rs.receiver].recvSess, rs.flow)
+	rs.sendDoneCtrl()
+	rs.armDoneRetry()
 	if rs.onDone != nil {
 		ev := CompletionEvent{
 			Flow:     rs.flow,
@@ -141,5 +158,62 @@ func (rs *receiverSession) complete() {
 			Detached: rs.detached,
 		}
 		rs.onDone(ev)
+	}
+}
+
+// sendDoneCtrl sends one completion ctrl to every sender that has not
+// acked yet. Iteration follows the senders slice (not the pending map)
+// so packet emission order is deterministic per seed.
+func (rs *receiverSession) sendDoneCtrl() {
+	for _, s := range rs.senders {
+		dst := rs.sys.Agents[s].host.ID
+		if _, waiting := rs.pendingDone[dst]; !waiting {
+			continue
+		}
+		rs.sys.Agents[rs.receiver].host.Send(&netsim.Packet{
+			Flow:  rs.flow,
+			Kind:  netsim.KindCtrl,
+			Size:  netsim.HeaderSize,
+			Src:   int32(rs.receiver),
+			Dst:   dst,
+			Group: -1,
+			Spray: true,
+		})
+	}
+}
+
+// armDoneRetry schedules the next ctrl retransmission. The cadence
+// reuses PullTimeout (the stall guard's clock); with the guard
+// disabled a fixed fallback keeps the handshake live — an unacked
+// completion must never be able to wedge the group.
+func (rs *receiverSession) armDoneRetry() {
+	d := rs.sys.Cfg.PullTimeout
+	if d <= 0 {
+		d = doneRetryFallback
+	}
+	rs.doneRetry = rs.sys.Net.Eng.After(d, func() {
+		if len(rs.pendingDone) == 0 {
+			return
+		}
+		rs.sendDoneCtrl()
+		rs.armDoneRetry()
+	})
+}
+
+// onDoneAck records one sender's acknowledgement of our completion
+// ctrl. Once every sender has acked, the session is removed from the
+// agent — the other half of the lifecycle contract asserted by
+// System.OpenSessions.
+func (rs *receiverSession) onDoneAck(from int32) {
+	if !rs.done {
+		return // stray ack for a live session; ignore
+	}
+	if _, waiting := rs.pendingDone[from]; !waiting {
+		return // duplicate ack (our retransmit crossed their ack)
+	}
+	delete(rs.pendingDone, from)
+	if len(rs.pendingDone) == 0 {
+		rs.doneRetry.Cancel()
+		delete(rs.sys.Agents[rs.receiver].recvSess, rs.flow)
 	}
 }

@@ -220,19 +220,39 @@ func (ss *senderSession) armGraceCheck() {
 
 // onReceiverDone removes a completed receiver from pull aggregation so
 // the group is never throttled by a receiver that no longer pulls.
+// Completion ctrls are retransmitted until acked, so duplicates are
+// routine here: a receiver already absent from both pulls and detached
+// has been counted and must not be counted again.
 func (ss *senderSession) onReceiverDone(host int32) {
-	if ss.group < 0 {
-		ss.doneRecv++
-		ss.finished = true
+	if ss.finished {
 		return
+	}
+	if ss.group < 0 {
+		ss.finished = true
+		ss.finish()
+		return
+	}
+	_, attached := ss.pulls[host]
+	_, tailed := ss.detached[host]
+	if !attached && !tailed {
+		return // duplicate ctrl from an already-counted receiver
 	}
 	delete(ss.pulls, host)
 	delete(ss.detached, host)
 	ss.doneRecv++
 	if ss.doneRecv >= len(ss.receivers) {
 		ss.finished = true
+		ss.finish()
 		return
 	}
 	// Remaining receivers may have a banked round ready.
 	ss.pump()
+}
+
+// finish releases the completed session from its agent's map. Without
+// this, every flow in a long run leaked a senderSession (plus its
+// pulls/detached maps): onReceiverDone used to set finished and stop,
+// and nothing ever deleted the entry.
+func (ss *senderSession) finish() {
+	delete(ss.sys.Agents[ss.src].sendSess, ss.flow)
 }

@@ -194,6 +194,112 @@ func (s *System) StartMulticast(src int, receivers []int, group int32, bytes int
 	return flow
 }
 
+// ShufflePair is one mapper→reducer transfer of a shuffle.
+type ShufflePair struct {
+	// Mapper and Reducer are host IDs.
+	Mapper, Reducer int
+	// Flow is the pair's session ID.
+	Flow int32
+	// Bytes is the partition size.
+	Bytes int64
+	// Event is the pair's completion event.
+	Event CompletionEvent
+}
+
+// ShuffleResult reports one completed shuffle.
+type ShuffleResult struct {
+	// Start is when the shuffle was started; End is the latest pair
+	// completion (the shuffle completion time is End-Start: a shuffle
+	// is done only when its slowest pair is).
+	Start, End sim.Time
+	// Pairs holds every transfer in mapper-major order
+	// (Pairs[mi*len(reducers)+ri]).
+	Pairs []ShufflePair
+}
+
+// Bytes returns the total bytes moved by the shuffle.
+func (r ShuffleResult) Bytes() int64 {
+	var total int64
+	for i := range r.Pairs {
+		total += r.Pairs[i].Bytes
+	}
+	return total
+}
+
+// StartShuffle begins a many-to-many shuffle: every mapper transfers
+// one distinct partition to every reducer, the full mapper×reducer
+// matrix at once. Each pair runs as its own receiver-driven session,
+// so a reducer's inbound transfers are jointly paced by its host's
+// single pull queue (paper §2) and a mapper contributes to each
+// reducer exactly the capacity its pulls arrive with — no per-flow
+// congestion control, no incast at the reducers, no coordination
+// between mappers. bytesPerPair maps (mapper index, reducer index) to
+// the partition size, letting workload generators express skew and
+// stragglers. onDone fires once, when the last pair completes. A host
+// appearing as both a mapper and a reducer panics: local partitions
+// never cross the network and must be excluded by the caller.
+func (s *System) StartShuffle(mappers, reducers []int, bytesPerPair func(mi, ri int) int64, onDone func(ShuffleResult)) []int32 {
+	if len(mappers) == 0 {
+		panic("polyraptor: no mappers")
+	}
+	if len(reducers) == 0 {
+		panic("polyraptor: no reducers")
+	}
+	if bytesPerPair == nil {
+		panic("polyraptor: nil bytesPerPair")
+	}
+	reducerSet := make(map[int]struct{}, len(reducers))
+	for _, r := range reducers {
+		reducerSet[r] = struct{}{}
+	}
+	for _, m := range mappers {
+		if _, both := reducerSet[m]; both {
+			panic(fmt.Sprintf("polyraptor: host %d is both a mapper and a reducer", m))
+		}
+	}
+
+	res := &ShuffleResult{
+		Start: s.Net.Now(),
+		Pairs: make([]ShufflePair, len(mappers)*len(reducers)),
+	}
+	remaining := len(res.Pairs)
+	flows := make([]int32, 0, len(res.Pairs))
+	for mi, m := range mappers {
+		for ri, r := range reducers {
+			bytes := bytesPerPair(mi, ri)
+			if bytes <= 0 {
+				panic(fmt.Sprintf("polyraptor: shuffle pair (%d,%d) has %d bytes", mi, ri, bytes))
+			}
+			idx := mi*len(reducers) + ri
+			res.Pairs[idx] = ShufflePair{Mapper: m, Reducer: r, Bytes: bytes}
+			flow := s.StartMultiSource([]int{m}, r, bytes, func(ev CompletionEvent) {
+				res.Pairs[idx].Event = ev
+				if ev.End > res.End {
+					res.End = ev.End
+				}
+				remaining--
+				if remaining == 0 && onDone != nil {
+					onDone(*res)
+				}
+			})
+			res.Pairs[idx].Flow = flow
+			flows = append(flows, flow)
+		}
+	}
+	return flows
+}
+
+// OpenSessions counts the live sender and receiver sessions across all
+// agents. Both counts return to zero once every flow has fully torn
+// down — the lifecycle contract the leak regression tests assert.
+func (s *System) OpenSessions() (send, recv int) {
+	for _, a := range s.Agents {
+		send += len(a.sendSess)
+		recv += len(a.recvSess)
+	}
+	return
+}
+
 // partition mirrors raptorq.Partition without importing it here.
 func partition(i, j int) (il, is, jl, js int) {
 	il = (i + j - 1) / j
@@ -246,11 +352,27 @@ func (a *Agent) deliver(pkt *netsim.Packet) {
 			sess.onPull(pkt)
 		}
 	case netsim.KindCtrl:
+		// Completion notice from a receiver. Ack unconditionally — even
+		// when the sender session is already gone — because the ctrl may
+		// be a retransmission whose predecessor's ack was lost; without
+		// the ack the receiver would retransmit forever.
 		if sess, ok := a.sendSess[pkt.Flow]; ok {
 			sess.onReceiverDone(pkt.Src)
 		}
+		a.host.Send(&netsim.Packet{
+			Flow:  pkt.Flow,
+			Kind:  netsim.KindAck,
+			Size:  netsim.HeaderSize,
+			Src:   a.host.ID,
+			Dst:   pkt.Src,
+			Group: -1,
+			Spray: true,
+		})
 	case netsim.KindAck:
-		// Unused by Polyraptor.
+		// Sender's acknowledgement of our completion ctrl.
+		if sess, ok := a.recvSess[pkt.Flow]; ok {
+			sess.onDoneAck(pkt.Src)
+		}
 	default:
 		panic(fmt.Sprintf("polyraptor: unknown packet kind %v", pkt.Kind))
 	}

@@ -39,7 +39,7 @@ func NewFatTree(k int, cfg netsim.Config) (*FatTree, error) {
 	ft := &FatTree{K: k, Net: netsim.New(cfg), groupTouched: map[int32][]*netsim.Switch{}}
 	half := k / 2
 	nPods := k
-	nHosts := k * k * k / 4
+	nHosts := HostsFor(k)
 
 	for i := 0; i < nHosts; i++ {
 		ft.Hosts = append(ft.Hosts, ft.Net.AddHost())
@@ -127,10 +127,15 @@ func (ft *FatTree) RackOf(h int) int {
 // NumRacks returns the number of racks (edge switches): k^2/2.
 func (ft *FatTree) NumRacks() int { return ft.K * ft.K / 2 }
 
+// HostsFor returns the host count of a k-ary fat-tree (k^3/4) without
+// building the fabric — the one place the formula lives, so capacity
+// validators cannot drift from the constructor.
+func HostsFor(k int) int { return k * k * k / 4 }
+
 // OutOfRackHosts returns how many hosts of a k-ary fat-tree sit
 // outside any one rack: k^3/4 - k/2 — the eligibility bound for
 // out-of-rack peer pickers, computable before the fabric is built.
-func OutOfRackHosts(k int) int { return k*k*k/4 - k/2 }
+func OutOfRackHosts(k int) int { return HostsFor(k) - k/2 }
 
 // CheckArity validates a fat-tree arity without building the fabric —
 // the shared up-front check behind every CLI's -k flag.
