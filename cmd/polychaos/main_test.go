@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// tinyArgs keeps the in-process CLI runs sub-second: a k=4 fabric,
+// 256 KB flows, fault at 500 µs, scored at 1 s.
+func tinyArgs(extra ...string) []string {
+	return append([]string{
+		"-k", "4", "-flows", "6", "-bytes", "262144",
+		"-fail-at", "500us", "-deadline", "1s",
+	}, extra...)
+}
+
+// TestRunSmoke drives the whole CLI in-process: the headline contrast
+// (rq zero stalls, tcp stranded) must show in the table.
+func TestRunSmoke(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run(tinyArgs("-backend", "rq,tcp"), &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errw.String())
+	}
+	s := out.String()
+	for _, want := range []string{"PolyChaos failure injection", "pattern=one2one", "link x4 at core tier", "polyraptor", "tcp", "blackholed"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestRunVerboseSchedule: -v appends the struck targets and the fault
+// event log.
+func TestRunVerboseSchedule(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run(tinyArgs("-backend", "rq", "-recover-at", "50ms", "-v"), &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errw.String())
+	}
+	s := out.String()
+	for _, want := range []string{"fault schedule (seed 1)", "strike agg-", "link-down", "link-up"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("verbose output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run(tinyArgs("-backend", "rq", "-csv"), &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d: %s", code, errw.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV should have header + 1 row, got %d lines:\n%s", len(lines), out.String())
+	}
+	if !strings.HasPrefix(lines[0], "backend,flows,completed,stalled") {
+		t.Fatalf("CSV header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "polyraptor,6,") {
+		t.Fatalf("CSV row %q", lines[1])
+	}
+}
+
+// TestRunRejectsBadFlags: every invalid flag combination exits 2 with
+// a diagnostic, before any simulation runs.
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-backend", "quic"},
+		{"-backend", ","},
+		{"-nope"},
+		{"-k", "5"},
+		{"-pattern", "tornado"},
+		{"-flows", "0"},
+		{"-k", "4", "-flows", "9"}, // 18 hosts > 16
+		{"-pattern", "incast", "-senders", "0"},
+		{"-pattern", "multicast", "-replicas", "0"},
+		{"-pattern", "shuffle", "-k", "4", "-mappers", "10", "-reducers", "7"},
+		{"-bytes", "0"},
+		{"-fault", "meteor"},
+		{"-layer", "sea"},
+		{"-frac", "1.5"},
+		{"-frac", "-0.1"},
+		{"-fail-at", "-1ms"},
+		{"-fail-at", "2ms", "-recover-at", "1ms"},
+		{"-fault", "loss"},                      // loss without a rate
+		{"-fault", "loss", "-loss-rate", "1.2"}, // rate out of range
+		{"-fault", "flap"},                      // flap without period/end
+		{"-fault", "flap", "-flap-period", "1ms"},
+		{"-fault", "flap", "-flap-period", "1ns", "-recover-at", "1ms"}, // toggle-event storm
+		{"-deadline", "0s"},
+		{"-deadline", "1ms"}, // deadline before the default 2 ms fault
+		{"-runs", "0"},
+		{"-csv", "-json"},
+	} {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Fatalf("run(%v) exited %d, want 2; stderr: %s", args, code, errw.String())
+		}
+		if errw.Len() == 0 {
+			t.Fatalf("run(%v) printed no error", args)
+		}
+	}
+}
+
+// TestRunMultiSeed: -runs > 1 aggregates per backend over derived
+// sub-seeds, byte-identically at any parallelism — the sweep
+// determinism criterion at the CLI surface.
+func TestRunMultiSeed(t *testing.T) {
+	sweepArgs := func(extra ...string) []string {
+		return tinyArgs(append([]string{"-backend", "rq,tcp", "-runs", "3"}, extra...)...)
+	}
+	var serial, parallel, errw bytes.Buffer
+	if code := run(sweepArgs("-parallel", "1", "-json"), &serial, &errw); code != 0 {
+		t.Fatalf("serial run exited %d: %s", code, errw.String())
+	}
+	errw.Reset()
+	if code := run(sweepArgs("-json"), &parallel, &errw); code != 0 {
+		t.Fatalf("parallel run exited %d: %s", code, errw.String())
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("JSON differs between -parallel 1 and default:\n%s\nvs\n%s", serial.String(), parallel.String())
+	}
+	var res struct {
+		Seeds int `json:"seeds"`
+		Cells []struct {
+			Scenario string   `json:"scenario"`
+			Backend  string   `json:"backend"`
+			Errors   []string `json:"errors"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(serial.Bytes(), &res); err != nil {
+		t.Fatalf("stdout is not valid JSON: %v", err)
+	}
+	if res.Seeds != 3 || len(res.Cells) != 2 {
+		t.Fatalf("decoded %d cells x %d seeds, want 2 x 3", len(res.Cells), res.Seeds)
+	}
+	for _, c := range res.Cells {
+		if c.Scenario != "chaos" || len(c.Errors) > 0 {
+			t.Fatalf("cell %+v", c)
+		}
+	}
+
+	var table bytes.Buffer
+	errw.Reset()
+	if code := run(sweepArgs(), &table, &errw); code != 0 {
+		t.Fatalf("table run exited %d: %s", code, errw.String())
+	}
+	for _, want := range []string{"chaos/polyraptor", "chaos/tcp", "stall_rate", "±CI95"} {
+		if !strings.Contains(table.String(), want) {
+			t.Fatalf("aggregate table missing %q:\n%s", want, table.String())
+		}
+	}
+}
+
+// TestRunHelpExitsZero: -h prints usage and exits 0.
+func TestRunHelpExitsZero(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-h"}, &out, &errw); code != 0 {
+		t.Fatalf("run(-h) exited %d, want 0", code)
+	}
+	if !strings.Contains(errw.String(), "Usage") {
+		t.Fatalf("help output missing usage: %s", errw.String())
+	}
+}

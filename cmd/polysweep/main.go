@@ -17,6 +17,7 @@
 //	polysweep -scenarios incast -backends rq,dctcp -senders 16
 //	polysweep -scenarios storage -requests 300 -fail rack -format json
 //	polysweep -scenarios ablations -seeds 3
+//	polysweep -scenarios chaos -chaos-frac 0.25 -chaos-recover-at 50ms
 //	polysweep -parallel 1                            # serial reference run
 package main
 
@@ -29,6 +30,7 @@ import (
 	"strings"
 	"time"
 
+	"polyraptor/internal/chaos"
 	"polyraptor/internal/harness"
 	"polyraptor/internal/store"
 	"polyraptor/internal/sweep"
@@ -45,7 +47,7 @@ func run(args []string, out, errw io.Writer) int {
 	def := harness.DefaultSweepParams()
 	stdef := def.Store
 	var (
-		scenarios = fs.String("scenarios", "incast,storage", "comma list of fig1a, fig1b, incast, shuffle, storage, ablations, or all")
+		scenarios = fs.String("scenarios", "incast,storage", "comma list of fig1a, fig1b, incast, shuffle, storage, chaos, ablations, or all")
 		backends  = fs.String("backends", "all", "comma list of rq|polyraptor, tcp, dctcp, or all")
 		seeds     = fs.Int("seeds", 5, "repetitions per cell (paper: 5)")
 		seed      = fs.Int64("seed", 1, "base seed for sub-seed derivation")
@@ -63,6 +65,18 @@ func run(args []string, out, errw io.Writer) int {
 		reducers  = fs.Int("reducers", def.Reducers, "shuffle: reducer count R (M+R distinct hosts)")
 		skew      = fs.Float64("skew", def.ShuffleSkew, "shuffle: Zipf skew of partition sizes across reducers")
 		straggler = fs.Float64("straggler", def.Straggler, "shuffle: scale one mapper's partitions by this factor (0 = off)")
+
+		chdef        = def.Chaos
+		chaosPattern = fs.String("chaos-pattern", chdef.Pattern, "chaos: traffic pattern (one2one, incast, multicast, shuffle)")
+		chaosFlows   = fs.Int("chaos-flows", chdef.Flows, "chaos: one2one flow count")
+		chaosFault   = fs.String("chaos-fault", chdef.Fault.Kind.String(), "chaos: fault kind (link, switch, loss, flap)")
+		chaosLayer   = fs.String("chaos-layer", chdef.Fault.Layer.String(), "chaos: fabric tier (core, agg, host)")
+		chaosFrac    = fs.Float64("chaos-frac", chdef.Fault.Frac, "chaos: fraction of the tier struck")
+		chaosFailAt  = fs.Duration("chaos-fail-at", chdef.Fault.FailAt, "chaos: when the fault strikes")
+		chaosRecover = fs.Duration("chaos-recover-at", chdef.Fault.RecoverAt, "chaos: when it heals (0 = never)")
+		chaosFlap    = fs.Duration("chaos-flap-period", chdef.Fault.FlapPeriod, "chaos: flap cycle length")
+		chaosLoss    = fs.Float64("chaos-loss-rate", chdef.Fault.LossRate, "chaos: per-frame loss probability")
+		chaosDeadl   = fs.Duration("chaos-deadline", chdef.Deadline, "chaos: sim-time budget; incomplete flows count as stalled")
 
 		objects  = fs.Int("objects", stdef.Objects, "storage: pre-loaded catalogue objects")
 		requests = fs.Int("requests", stdef.Requests, "storage: client requests")
@@ -110,6 +124,35 @@ func run(args []string, out, errw io.Writer) int {
 	}
 	p.Store.FailMode = mode
 	p.Store.Seed = *seed
+
+	ckind, ok := chaos.ParseKind(*chaosFault)
+	if !ok {
+		fmt.Fprintf(errw, "polysweep: unknown chaos fault kind %q (link, switch, loss, flap)\n", *chaosFault)
+		return 2
+	}
+	clayer, ok := chaos.ParseLayer(*chaosLayer)
+	if !ok {
+		fmt.Fprintf(errw, "polysweep: unknown chaos layer %q (core, agg, host)\n", *chaosLayer)
+		return 2
+	}
+	p.Chaos.FatTreeK = *k
+	p.Chaos.Bytes = *bytes
+	p.Chaos.Senders = *senders
+	p.Chaos.Replicas = *replicas
+	p.Chaos.Mappers = *mappers
+	p.Chaos.Reducers = *reducers
+	p.Chaos.Pattern = *chaosPattern
+	p.Chaos.Flows = *chaosFlows
+	p.Chaos.Fault = chaos.Plan{
+		Kind:       ckind,
+		Layer:      clayer,
+		Frac:       *chaosFrac,
+		FailAt:     *chaosFailAt,
+		RecoverAt:  *chaosRecover,
+		FlapPeriod: *chaosFlap,
+		LossRate:   *chaosLoss,
+	}
+	p.Chaos.Deadline = *chaosDeadl
 
 	scen, err := parseScenarios(*scenarios)
 	if err != nil {
@@ -251,6 +294,10 @@ func validateParams(p harness.SweepParams, scenarios []string) error {
 			}
 		case "storage":
 			if err := p.Store.Validate(); err != nil {
+				return err
+			}
+		case "chaos":
+			if err := p.Chaos.Validate(); err != nil {
 				return err
 			}
 		}

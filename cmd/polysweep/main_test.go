@@ -131,7 +131,7 @@ func TestParseScenariosAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 6 || got[len(got)-1] != "ablations" {
+	if len(got) != 7 || got[len(got)-1] != "ablations" {
 		t.Fatalf("parseScenarios(all) = %v", got)
 	}
 }

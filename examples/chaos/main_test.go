@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDemo sweeps two tiny fractions on a k=4 fabric, parallel and
+// serial, and checks the outputs agree (derived sub-seeds make the
+// table independent of scheduling).
+func TestDemo(t *testing.T) {
+	render := func(parallelism int) string {
+		var out bytes.Buffer
+		if err := demo(&out, 4, []float64{0, 0.25}, 4, 128<<10, 2, parallelism); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	serial := render(1)
+	parallel := render(0)
+	if serial != parallel {
+		t.Fatalf("serial and parallel tables differ:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+	for _, want := range []string{"frac failed", "RQ stalled", "TCP stalled", "surviving path"} {
+		if !strings.Contains(serial, want) {
+			t.Fatalf("output missing %q:\n%s", want, serial)
+		}
+	}
+}
+
+// TestDemoRejectsImpossibleSweep: validation surfaces before any
+// simulation runs.
+func TestDemoRejectsImpossibleSweep(t *testing.T) {
+	var out bytes.Buffer
+	if err := demo(&out, 4, []float64{2}, 4, 128<<10, 1, 1); err == nil {
+		t.Fatal("frac=2 should fail validation")
+	}
+}

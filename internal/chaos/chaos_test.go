@@ -1,0 +1,232 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"polyraptor/internal/netsim"
+	"polyraptor/internal/topology"
+)
+
+func tree(t *testing.T) *topology.FatTree {
+	t.Helper()
+	ft, err := topology.NewFatTree(4, netsim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ft
+}
+
+func TestPlanValidate(t *testing.T) {
+	good := Plan{Kind: KindLinkDown, Layer: LayerCore, Frac: 0.25, FailAt: time.Millisecond, Seed: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	bad := []Plan{
+		{Kind: Kind(9), Layer: LayerCore, Frac: 0.5},
+		{Kind: KindLinkDown, Layer: Layer(9), Frac: 0.5},
+		{Kind: KindLinkDown, Layer: LayerCore, Frac: -0.1},
+		{Kind: KindLinkDown, Layer: LayerCore, Frac: 1.5},
+		{Kind: KindLinkDown, Layer: LayerCore, Frac: 0.5, FailAt: -1},
+		{Kind: KindLinkDown, Layer: LayerCore, Frac: 0.5, FailAt: 2 * time.Millisecond, RecoverAt: time.Millisecond},
+		{Kind: KindLinkLoss, Layer: LayerCore, Frac: 0.5},                               // no loss rate
+		{Kind: KindLinkLoss, Layer: LayerCore, Frac: 0.5, LossRate: 1.2},                // out of range
+		{Kind: KindLinkFlap, Layer: LayerCore, Frac: 0.5, RecoverAt: time.Millisecond},  // no period
+		{Kind: KindLinkFlap, Layer: LayerCore, Frac: 0.5, FlapPeriod: time.Millisecond}, // no end
+		{Kind: KindLinkFlap, Layer: LayerCore, Frac: 0.5, // period below MinFlapPeriod: event storm
+			FlapPeriod: MinFlapPeriod / 2, RecoverAt: time.Millisecond},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad plan %d accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestParseRoundTrips(t *testing.T) {
+	for _, k := range []Kind{KindLinkDown, KindSwitchKill, KindLinkLoss, KindLinkFlap} {
+		got, ok := ParseKind(k.String())
+		if !ok || got != k {
+			t.Fatalf("kind %v does not round-trip", k)
+		}
+	}
+	if _, ok := ParseKind("volcano"); ok {
+		t.Fatal("unknown kind parsed")
+	}
+	for _, l := range []Layer{LayerCore, LayerAgg, LayerHost} {
+		got, ok := ParseLayer(l.String())
+		if !ok || got != l {
+			t.Fatalf("layer %v does not round-trip", l)
+		}
+	}
+	if _, ok := ParseLayer("sea"); ok {
+		t.Fatal("unknown layer parsed")
+	}
+}
+
+func TestInjectLinkDownAndRecover(t *testing.T) {
+	ft := tree(t)
+	p := Plan{Kind: KindLinkDown, Layer: LayerCore, Frac: 0.25, FailAt: time.Millisecond, RecoverAt: 3 * time.Millisecond, Seed: 2}
+	in, err := Inject(ft, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := topology.PickCount(len(ft.CoreLinks()), 0.25)
+	if in.TargetCount() != want {
+		t.Fatalf("targeted %d links, want %d", in.TargetCount(), want)
+	}
+	downCount := func() int {
+		n := 0
+		for _, l := range ft.CoreLinks() {
+			if !l.A.Up() || !l.B.Up() {
+				n++
+			}
+		}
+		return n
+	}
+	ft.Net.Eng.RunUntil(500 * time.Microsecond)
+	if got := downCount(); got != 0 {
+		t.Fatalf("%d links down before FailAt", got)
+	}
+	ft.Net.Eng.RunUntil(2 * time.Millisecond)
+	if got := downCount(); got != want {
+		t.Fatalf("%d links down during fault window, want %d", got, want)
+	}
+	ft.Net.Eng.RunUntil(4 * time.Millisecond)
+	if got := downCount(); got != 0 {
+		t.Fatalf("%d links still down after recovery", got)
+	}
+	if len(in.Events) != 2*want {
+		t.Fatalf("event log has %d entries, want %d", len(in.Events), 2*want)
+	}
+}
+
+func TestInjectSwitchKillParksPortsAndRestores(t *testing.T) {
+	ft := tree(t)
+	p := Plan{Kind: KindSwitchKill, Layer: LayerCore, Frac: 0.5, FailAt: time.Millisecond, RecoverAt: 2 * time.Millisecond, Seed: 1}
+	in, err := Inject(ft, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.TargetCount() != 2 { // k=4: 4 cores, half
+		t.Fatalf("targeted %d switches, want 2", in.TargetCount())
+	}
+	ft.Net.Eng.RunUntil(1500 * time.Microsecond)
+	downSwitches := 0
+	for _, sw := range ft.CoreSwitches() {
+		if sw.Down() {
+			downSwitches++
+			for _, port := range sw.Ports {
+				if port.Up() {
+					t.Fatalf("killed switch %s still has an up egress port", sw.Name)
+				}
+			}
+		}
+	}
+	if downSwitches != 2 {
+		t.Fatalf("%d switches down, want 2", downSwitches)
+	}
+	ft.Net.Eng.RunUntil(3 * time.Millisecond)
+	for _, sw := range ft.CoreSwitches() {
+		if sw.Down() {
+			t.Fatalf("switch %s still down after restore", sw.Name)
+		}
+		for _, port := range sw.Ports {
+			if !port.Up() {
+				t.Fatalf("restored switch %s has a down port", sw.Name)
+			}
+		}
+	}
+}
+
+func TestInjectLossOnOff(t *testing.T) {
+	ft := tree(t)
+	p := Plan{Kind: KindLinkLoss, Layer: LayerAgg, Frac: 0.5, LossRate: 0.3, FailAt: time.Millisecond, RecoverAt: 2 * time.Millisecond, Seed: 3}
+	in, err := Inject(ft, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := func() int {
+		n := 0
+		for _, l := range ft.AggLinks() {
+			if l.A.LossRate() > 0 || l.B.LossRate() > 0 {
+				n++
+			}
+		}
+		return n
+	}
+	ft.Net.Eng.RunUntil(1500 * time.Microsecond)
+	if got := lossy(); got != in.TargetCount() {
+		t.Fatalf("%d lossy links, want %d", got, in.TargetCount())
+	}
+	ft.Net.Eng.RunUntil(3 * time.Millisecond)
+	if got := lossy(); got != 0 {
+		t.Fatalf("%d links still lossy after recovery", got)
+	}
+}
+
+func TestInjectFlapTogglesAndEndsUp(t *testing.T) {
+	ft := tree(t)
+	p := Plan{
+		Kind: KindLinkFlap, Layer: LayerCore, Frac: 0.25,
+		FailAt: time.Millisecond, RecoverAt: 5 * time.Millisecond,
+		FlapPeriod: 2 * time.Millisecond, Seed: 4,
+	}
+	in, err := Inject(ft, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half period is 1 ms: down at 1 ms, up at 2 ms, down at 3 ms, up
+	// at 4 ms, down at 5 ms is past RecoverAt so it forces up instead.
+	ft.Net.Eng.Run()
+	for _, l := range ft.CoreLinks() {
+		if !l.A.Up() || !l.B.Up() {
+			t.Fatalf("link %s left down after flap ended", l.Name)
+		}
+	}
+	downs, ups := 0, 0
+	for _, ev := range in.Events {
+		switch ev.Action {
+		case "link-down":
+			downs++
+		case "link-up":
+			ups++
+		default:
+			t.Fatalf("unexpected action %q", ev.Action)
+		}
+	}
+	if downs == 0 || downs != ups {
+		t.Fatalf("flap log unbalanced: %d downs, %d ups", downs, ups)
+	}
+	perLink := downs / in.TargetCount()
+	if perLink < 2 {
+		t.Fatalf("each link flapped %d times, want >= 2", perLink)
+	}
+}
+
+func TestInjectDeterministicTargets(t *testing.T) {
+	p := Plan{Kind: KindLinkDown, Layer: LayerCore, Frac: 0.5, FailAt: time.Millisecond, Seed: 9}
+	a, err := Inject(tree(t), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Inject(tree(t), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Targets) != len(b.Targets) {
+		t.Fatalf("target counts differ: %d vs %d", len(a.Targets), len(b.Targets))
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] {
+			t.Fatalf("targets differ at %d: %s vs %s", i, a.Targets[i], b.Targets[i])
+		}
+	}
+}
+
+func TestInjectRejectsInvalidPlan(t *testing.T) {
+	_, err := Inject(tree(t), Plan{Kind: KindLinkLoss, Layer: LayerCore, Frac: 0.5})
+	if err == nil {
+		t.Fatal("invalid plan injected")
+	}
+}

@@ -1,0 +1,210 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"polyraptor/internal/chaos"
+	"polyraptor/internal/store"
+	"polyraptor/internal/sweep"
+)
+
+// tinyChaosOptions is the k=4 template the unit tests share: 6
+// cross-pod flows of 256 KB with a quarter of the core links
+// blackholed at 500 µs, never healed, scored at a 1 s deadline.
+func tinyChaosOptions() ChaosOptions {
+	return testChaosOptions()
+}
+
+// TestChaosRQCompletesWhereTCPStrands is the subsystem's acceptance
+// test (the paper's headline under real mid-flow faults): with a
+// seeded fraction of core links killed mid-flow, Polyraptor completes
+// every flow — per-packet spraying plus rateless coding need any
+// surviving path, no rerouting — while hash-pinned TCP strands the
+// flows whose ECMP hash leads into a remote blackhole. Seed 1's draw
+// keeps every pod reachable (a draw that severs all core links into
+// one pod strands any transport; that physics is exercised in
+// TestChaosSeveredPodStallsEveryone-like sweeps, not here).
+func TestChaosRQCompletesWhereTCPStrands(t *testing.T) {
+	o := tinyChaosOptions()
+	rq := RunChaos(o, store.BackendPolyraptor, 1)
+	tcp := RunChaos(o, store.BackendTCP, 1)
+
+	if rq.FaultTargets == 0 || tcp.FaultTargets == 0 {
+		t.Fatal("no links were targeted; the fault plan is vacuous")
+	}
+	if rq.RouteDrops == 0 {
+		t.Fatal("no packets were blackholed; the fault did not bite")
+	}
+	if rq.Stalled != 0 || rq.Completed != rq.Flows {
+		t.Fatalf("rq stalled %d/%d flows under core blackholes (want zero stalls)", rq.Stalled, rq.Flows)
+	}
+	if tcp.Stalled == 0 {
+		t.Fatalf("tcp stranded no flows (completed %d/%d); the contrast is vacuous", tcp.Completed, tcp.Flows)
+	}
+	if rq.GoodputGbps <= tcp.GoodputGbps {
+		t.Fatalf("rq goodput %.4f <= tcp %.4f under faults", rq.GoodputGbps, tcp.GoodputGbps)
+	}
+	// Completed-flow FCTs stay finite and inside the deadline.
+	if rq.FCT.Max >= o.Deadline.Seconds() {
+		t.Fatalf("rq FCT max %.3fs reached the deadline %v", rq.FCT.Max, o.Deadline)
+	}
+}
+
+// TestChaosRecoveryUnstrandsTCP: the same fault healed mid-run frees
+// the stranded TCP flows — their RTO backoff retries land on restored
+// links — so stalls drop to zero but tail FCT keeps the scar.
+func TestChaosRecoveryUnstrandsTCP(t *testing.T) {
+	o := tinyChaosOptions()
+	o.Fault.RecoverAt = 100 * time.Millisecond
+	o.Deadline = 3 * time.Second
+	tcp := RunChaos(o, store.BackendTCP, 1)
+	if tcp.Stalled != 0 {
+		t.Fatalf("tcp still stranded %d flows after the fault healed", tcp.Stalled)
+	}
+	// The stranded flows sat through the 100 ms outage plus RTO
+	// backoff: the tail must be far beyond the healthy ~3 ms FCT.
+	if tcp.FCT.Max < 0.05 {
+		t.Fatalf("tcp max FCT %.4fs shows no outage scar", tcp.FCT.Max)
+	}
+}
+
+func TestChaosPatternsRunOnAllBackends(t *testing.T) {
+	for _, pattern := range ChaosPatterns() {
+		o := tinyChaosOptions()
+		o.Pattern = pattern
+		// Multicast trees are single-path (no spraying inside the
+		// group tree), so a permanent core blackhole can legitimately
+		// park receivers behind the severed branch; heal it mid-run.
+		if pattern == "multicast" {
+			o.Fault.RecoverAt = 50 * time.Millisecond
+		}
+		for _, be := range []store.BackendKind{store.BackendPolyraptor, store.BackendTCP, store.BackendDCTCP} {
+			r := RunChaos(o, be, 3)
+			if r.Flows == 0 {
+				t.Fatalf("%s/%s: no flows", pattern, be)
+			}
+			if r.Completed+r.Stalled != r.Flows {
+				t.Fatalf("%s/%s: completed %d + stalled %d != flows %d", pattern, be, r.Completed, r.Stalled, r.Flows)
+			}
+			if r.FCT.N != r.Completed {
+				t.Fatalf("%s/%s: %d FCT samples for %d completions", pattern, be, r.FCT.N, r.Completed)
+			}
+			if r.Completed > 0 && r.GoodputGbps <= 0 {
+				t.Fatalf("%s/%s: completed %d flows at %.4f Gbps", pattern, be, r.Completed, r.GoodputGbps)
+			}
+		}
+	}
+}
+
+func TestRunChaosDeterministicPerSeed(t *testing.T) {
+	o := tinyChaosOptions()
+	a := RunChaos(o, store.BackendPolyraptor, 5)
+	b := RunChaos(o, store.BackendPolyraptor, 5)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	c := RunChaos(o, store.BackendPolyraptor, 6)
+	if a == c {
+		t.Fatal("different seeds produced identical runs")
+	}
+}
+
+func TestChaosOptionsValidate(t *testing.T) {
+	if err := tinyChaosOptions().Validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	mut := func(f func(*ChaosOptions)) ChaosOptions {
+		o := tinyChaosOptions()
+		f(&o)
+		return o
+	}
+	bad := []ChaosOptions{
+		mut(func(o *ChaosOptions) { o.FatTreeK = 3 }),
+		mut(func(o *ChaosOptions) { o.Pattern = "tornado" }),
+		mut(func(o *ChaosOptions) { o.Flows = 0 }),
+		mut(func(o *ChaosOptions) { o.Flows = 1000 }), // 2*flows > hosts
+		mut(func(o *ChaosOptions) { o.Pattern = "incast"; o.Senders = 0 }),
+		mut(func(o *ChaosOptions) { o.Pattern = "multicast"; o.Replicas = 10000 }),
+		mut(func(o *ChaosOptions) { o.Pattern = "shuffle"; o.Mappers = 0 }),
+		mut(func(o *ChaosOptions) { o.Bytes = 0 }),
+		mut(func(o *ChaosOptions) { o.Deadline = 0 }),
+		mut(func(o *ChaosOptions) { o.Deadline = o.Fault.FailAt }), // deadline before fault
+		mut(func(o *ChaosOptions) { o.Fault.Frac = 2 }),
+		mut(func(o *ChaosOptions) { o.Fault.Kind = chaos.KindLinkLoss }), // loss without rate
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Fatalf("bad options %d accepted: %+v", i, o)
+		}
+	}
+}
+
+func TestNewSweepCellChaos(t *testing.T) {
+	p := tinySweepParams()
+	cell, err := NewSweepCell("chaos", store.BackendPolyraptor, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := cell.Runner.Run(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"completed", "stalled", "stall_rate", "fct_p50_s", "fct_p99_s", "goodput_gbps", "blackholed", "link_drops", "queue_drops", "fault_targets"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("chaos metrics missing %q: %v", key, m)
+		}
+	}
+	if m["completed"]+m["stalled"] != float64(p.Chaos.Flows) {
+		t.Fatalf("completed %v + stalled %v != flows %d", m["completed"], m["stalled"], p.Chaos.Flows)
+	}
+	// An invalid template is an error at cell-build time, not run time.
+	p.Chaos.Fault.Frac = 9
+	if _, err := NewSweepCell("chaos", store.BackendPolyraptor, p); err == nil {
+		t.Fatal("invalid chaos template accepted")
+	}
+}
+
+// TestChaosSweepParallelMatchesSerial is the determinism acceptance
+// criterion: the chaos cell matrix (3 backends x 3 seeds) produces
+// byte-identical aggregated JSON at parallelism 1 and GOMAXPROCS.
+// Runs under -race in CI.
+func TestChaosSweepParallelMatchesSerial(t *testing.T) {
+	matrix := func(parallelism int) sweep.Matrix {
+		p := tinySweepParams()
+		var cells []sweep.Cell
+		for _, be := range []store.BackendKind{store.BackendPolyraptor, store.BackendTCP, store.BackendDCTCP} {
+			cell, err := NewSweepCell("chaos", be, p)
+			if err != nil {
+				t.Fatalf("NewSweepCell(chaos, %v): %v", be, err)
+			}
+			cells = append(cells, cell)
+		}
+		return sweep.Matrix{Cells: cells, Seeds: 3, BaseSeed: 1, Parallelism: parallelism}
+	}
+	serial, err := matrix(1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := matrix(0).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := serial.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := parallel.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Fatalf("parallel chaos sweep JSON differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", sj, pj)
+	}
+	for _, c := range serial.Cells {
+		if len(c.Errors) > 0 {
+			t.Fatalf("cell %s errored: %v", c.Backend, c.Errors)
+		}
+	}
+}

@@ -8,21 +8,30 @@ import (
 )
 
 func TestHotspotExperiment(t *testing.T) {
-	res := RunHotspotExperiment(4, 0.3, 10, 6, 1<<20, 1)
-	if res.DegradedLinks == 0 {
-		t.Fatal("no links degraded at frac=0.3")
-	}
-	if res.RQ1 <= 0 || res.RQ3 <= 0 || res.TCP1 <= 0 {
-		t.Fatalf("zero goodput: %+v", res)
+	// A single seed can legitimately let every hash-pinned TCP flow
+	// dodge the degraded links (6 sequential transfers, 5/16 hotspots),
+	// so the RQ-vs-TCP contrast is asserted on the mean over seeds
+	// while the per-seed invariants stay exact.
+	var rq3Sum, tcpSum float64
+	for seed := int64(1); seed <= 3; seed++ {
+		res := RunHotspotExperiment(4, 0.3, 10, 6, 1<<20, seed)
+		if res.DegradedLinks == 0 {
+			t.Fatal("no links degraded at frac=0.3")
+		}
+		if res.RQ1 <= 0 || res.RQ3 <= 0 || res.TCP1 <= 0 {
+			t.Fatalf("zero goodput: %+v", res)
+		}
+		// Three sources give more healthy-path diversity than one.
+		if res.RQ3 < res.RQ1*0.95 {
+			t.Fatalf("seed %d: RQ3 (%.3f) worse than RQ1 (%.3f) under hotspots", seed, res.RQ3, res.RQ1)
+		}
+		rq3Sum += res.RQ3
+		tcpSum += res.TCP1
 	}
 	// Spraying + multiple sources must beat a hash-pinned single TCP
-	// flow under hotspots.
-	if res.RQ3 <= res.TCP1 {
-		t.Fatalf("RQ3 (%.3f) did not beat pinned TCP (%.3f) under hotspots", res.RQ3, res.TCP1)
-	}
-	// Three sources give more healthy-path diversity than one.
-	if res.RQ3 < res.RQ1*0.95 {
-		t.Fatalf("RQ3 (%.3f) worse than RQ1 (%.3f) under hotspots", res.RQ3, res.RQ1)
+	// flow under hotspots on average.
+	if rq3Sum <= tcpSum {
+		t.Fatalf("mean RQ3 (%.3f) did not beat mean pinned TCP (%.3f) under hotspots", rq3Sum/3, tcpSum/3)
 	}
 }
 

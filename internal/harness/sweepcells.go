@@ -44,6 +44,9 @@ type SweepParams struct {
 	// Store is the storage-cluster template; its Backend and Seed are
 	// overridden per run.
 	Store store.Config
+	// Chaos is the fault-injection template; its Fault.Seed is
+	// overridden per run.
+	Chaos ChaosOptions
 }
 
 // DefaultSweepParams returns test-sized scenario parameters (a k=4
@@ -61,13 +64,28 @@ func DefaultSweepParams() SweepParams {
 		Reducers:    4,
 		ShuffleSkew: 0.9,
 		Store:       store.ShortConfig(),
+		Chaos:       testChaosOptions(),
 	}
+}
+
+// testChaosOptions shrinks the chaos defaults to the sweep engine's
+// test-sized k=4 fabric (sub-second cells); cmd/polychaos scales them
+// up via flags.
+func testChaosOptions() ChaosOptions {
+	o := DefaultChaosOptions()
+	o.FatTreeK = 4
+	o.Flows = 6
+	o.Senders = 6
+	o.Bytes = 256 << 10
+	o.Fault.FailAt = 500 * 1000 // 500 µs: mid-flow for 256 KB at 1 Gbps
+	o.Deadline = 1e9            // 1 s
+	return o
 }
 
 // SweepScenarios lists the scenario names NewSweepCell accepts, plus
 // the "ablations" bundle expanded by AblationCells.
 func SweepScenarios() []string {
-	return []string{"fig1a", "fig1b", "incast", "shuffle", "storage"}
+	return []string{"fig1a", "fig1b", "incast", "shuffle", "storage", "chaos"}
 }
 
 // shuffleOptions builds the shuffle scenario options from the shared
@@ -153,6 +171,21 @@ func NewSweepCell(scenario string, backend store.BackendKind, p SweepParams) (sw
 		}
 		cell.Runner = sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
 			return shuffleMetrics(RunShuffle(opt, backend, seed)), nil
+		})
+	case "chaos":
+		opt := p.Chaos
+		if err := opt.Validate(); err != nil {
+			return sweep.Cell{}, fmt.Errorf("harness: %w", err)
+		}
+		cell.Params = map[string]string{
+			"k":       strconv.Itoa(opt.FatTreeK),
+			"pattern": opt.Pattern,
+			"fault":   opt.Fault.Kind.String(),
+			"layer":   opt.Fault.Layer.String(),
+			"frac":    strconv.FormatFloat(opt.Fault.Frac, 'g', -1, 64),
+		}
+		cell.Runner = sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
+			return chaosMetrics(RunChaos(opt, backend, seed)), nil
 		})
 	case "storage":
 		cfg := p.Store

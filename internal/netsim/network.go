@@ -63,6 +63,7 @@ type Network struct {
 	Hosts    []*Host
 	Switches []*Switch
 	rng      *rand.Rand
+	lossRNG  *rand.Rand
 }
 
 // New creates an empty network with the given configuration.
@@ -71,9 +72,10 @@ func New(cfg Config) *Network {
 		panic("netsim: LinkRate must be positive")
 	}
 	return &Network{
-		Eng: sim.NewEngine(),
-		Cfg: cfg,
-		rng: sim.RNG(cfg.Seed, "ecmp-spray"),
+		Eng:     sim.NewEngine(),
+		Cfg:     cfg,
+		rng:     sim.RNG(cfg.Seed, "ecmp-spray"),
+		lossRNG: sim.RNG(cfg.Seed, "link-loss"),
 	}
 }
 
@@ -122,6 +124,10 @@ func (n *Network) Connect(a, b Node) (pa, pb *Port) {
 			rate:  n.Cfg.LinkRate,
 			delay: n.Cfg.LinkDelay,
 			queue: q,
+			up:    true,
+		}
+		if sw, ok := peer.(*Switch); ok {
+			p.peerSwitch = sw
 		}
 		p.index = owner.addPort(p)
 		return p
@@ -129,16 +135,27 @@ func (n *Network) Connect(a, b Node) (pa, pb *Port) {
 	return mk(a, b), mk(b, a)
 }
 
-// QueueTotals aggregates queue statistics across every switch port.
+// QueueTotals aggregates queue statistics across every switch port,
+// plus the two fault counters: RouteDrops (packets blackholed at a
+// switch with no live egress candidate, or arriving at a killed
+// switch) and LinkDrops (packets destroyed on a down or lossy link —
+// any port, including host NICs).
 func (n *Network) QueueTotals() QueueStats {
 	var total QueueStats
 	for _, s := range n.Switches {
+		total.RouteDrops += s.RouteDrops
 		for _, p := range s.Ports {
-			st := p.queue.Stats()
+			st := p.QueueStats()
 			total.Enqueued += st.Enqueued
 			total.Dropped += st.Dropped
 			total.Trimmed += st.Trimmed
 			total.Marked += st.Marked
+			total.LinkDrops += st.LinkDrops
+		}
+	}
+	for _, h := range n.Hosts {
+		if h.NIC != nil {
+			total.LinkDrops += h.NIC.Lost
 		}
 	}
 	return total
@@ -146,18 +163,30 @@ func (n *Network) QueueTotals() QueueStats {
 
 // Port is a simplex attachment of a node to a link: an egress queue,
 // a serialization rate and a propagation delay to the peer node.
+// Ports carry dynamic fault state for chaos injection: an up/down
+// flag (down = blackhole: nothing serializes, a frame cut mid-wire is
+// lost) and a random loss rate (a transmitted frame is destroyed with
+// this probability — a lossy, not dead, link).
 type Port struct {
-	net   *Network
-	owner Node
-	peer  Node
-	index int
-	rate  int64
-	delay sim.Time
-	queue Queue
-	busy  bool
+	net        *Network
+	owner      Node
+	peer       Node
+	peerSwitch *Switch // peer when it is a switch (avoids a hot-path type assert)
+	index      int
+	rate       int64
+	delay      sim.Time
+	queue      Queue
+	busy       bool
+	up         bool
+	cut        bool // the in-flight frame crossed a down window: lose it
+	lossRate   float64
 
 	TxPackets int64
 	TxBytes   int64
+	// Lost counts packets destroyed by link faults: sends attempted
+	// while the link was down, frames cut when the link failed
+	// mid-serialization, and random losses on a lossy link.
+	Lost int64
 }
 
 // Index returns the port's position in its owner's port list.
@@ -176,17 +205,62 @@ func (p *Port) SetRate(bps int64) {
 // Rate returns the port's current transmission rate in bits/s.
 func (p *Port) Rate() int64 { return p.rate }
 
+// SetUp changes the link's up/down state. Taking a port down stops
+// its transmitter: the frame on the wire (if any) is cut and counted
+// in Lost, queued packets stay parked, and new Sends are dropped.
+// Bringing it back up restarts transmission from the surviving queue.
+func (p *Port) SetUp(up bool) {
+	if p.up == up {
+		return
+	}
+	p.up = up
+	if up {
+		p.kick()
+	} else if p.busy {
+		// Mark the in-flight frame cut now: a flap faster than one
+		// serialization time must still lose the frame even though the
+		// link is back up when serialization completes.
+		p.cut = true
+	}
+}
+
+// Up reports whether the link is up.
+func (p *Port) Up() bool { return p.up }
+
+// SetLossRate makes the link lossy: each transmitted frame is
+// destroyed with probability r in [0, 1]. Zero restores a clean link.
+func (p *Port) SetLossRate(r float64) {
+	if r < 0 || r > 1 {
+		panic("netsim: loss rate must be in [0, 1]")
+	}
+	p.lossRate = r
+}
+
+// LossRate returns the link's current random-loss probability.
+func (p *Port) LossRate() float64 { return p.lossRate }
+
 // Peer returns the node at the far end of the link.
 func (p *Port) Peer() Node { return p.peer }
 
 // QueueLen returns the instantaneous queue occupancy in packets.
 func (p *Port) QueueLen() int { return p.queue.Len() }
 
-// QueueStats returns the port's queue counters.
-func (p *Port) QueueStats() QueueStats { return p.queue.Stats() }
+// QueueStats returns the port's queue counters plus this port's
+// link-fault losses (LinkDrops = Lost). RouteDrops is a switch-level
+// counter and stays zero at port granularity.
+func (p *Port) QueueStats() QueueStats {
+	st := p.queue.Stats()
+	st.LinkDrops = p.Lost
+	return st
+}
 
-// Send enqueues a packet for transmission.
+// Send enqueues a packet for transmission. A down link drops it
+// immediately (the interface is dead), counted in Lost.
 func (p *Port) Send(pkt *Packet) {
+	if !p.up {
+		p.Lost++
+		return
+	}
 	if !p.queue.Enqueue(pkt) {
 		return // dropped; counted by the queue
 	}
@@ -194,9 +268,12 @@ func (p *Port) Send(pkt *Packet) {
 }
 
 // kick starts transmitting if the line is idle: serialize for
-// size*8/rate, then propagate for delay, then deliver to the peer.
+// size*8/rate, then propagate for delay, then deliver to the peer. A
+// down link never starts a frame; a link that goes down mid-frame
+// loses that frame (checked when serialization completes) and parks
+// the rest of the queue until SetUp re-kicks.
 func (p *Port) kick() {
-	if p.busy {
+	if p.busy || !p.up {
 		return
 	}
 	pkt := p.queue.Dequeue()
@@ -207,9 +284,23 @@ func (p *Port) kick() {
 	tx := sim.Time(int64(pkt.Size) * 8 * 1e9 / p.rate)
 	p.net.Eng.After(tx, func() {
 		p.busy = false
+		if p.cut || !p.up {
+			// The link failed at some point while this frame was on
+			// the wire (it may have already recovered): the frame is
+			// cut. kick() resumes the queue if the link is back up and
+			// is a no-op while it is still down (recovery re-kicks).
+			p.cut = false
+			p.Lost++
+			p.kick()
+			return
+		}
 		p.TxPackets++
 		p.TxBytes += int64(pkt.Size)
-		p.net.Eng.After(p.delay, func() { p.peer.Receive(pkt) })
+		if p.lossRate > 0 && p.net.lossRNG.Float64() < p.lossRate {
+			p.Lost++ // corrupted on a lossy link
+		} else {
+			p.net.Eng.After(p.delay, func() { p.peer.Receive(pkt) })
+		}
 		p.kick()
 	})
 }
@@ -228,6 +319,14 @@ type Switch struct {
 	Route func(pkt *Packet) []int
 	// Mcast maps group -> egress port indices.
 	Mcast map[int32][]int
+	// RouteDrops counts packets blackholed at this switch: arrivals
+	// while the switch was killed, and unicast packets whose candidate
+	// set was empty or held no live port. Chaos runs report it against
+	// queue drops to separate "routed into a hole" from "congested".
+	RouteDrops int64
+
+	down    bool
+	candBuf []int // scratch for live-candidate filtering (single-threaded sim)
 }
 
 func (s *Switch) addPort(p *Port) int {
@@ -235,9 +334,53 @@ func (s *Switch) addPort(p *Port) int {
 	return len(s.Ports) - 1
 }
 
+// SetDown kills or restores the whole switch. A killed switch drops
+// every arriving packet (counted in RouteDrops) and is filtered out
+// of its neighbours' equal-cost candidate sets — the local link-state
+// reaction of a real ECMP group. Egress port state is separate: chaos
+// takes a killed switch's ports down so queued frames stop draining.
+func (s *Switch) SetDown(down bool) { s.down = down }
+
+// Down reports whether the switch is killed.
+func (s *Switch) Down() bool { return s.down }
+
+// portLive reports whether candidate port i can carry traffic: its
+// own link is up and, when the peer is a switch, the peer is alive.
+func (s *Switch) portLive(i int) bool {
+	p := s.Ports[i]
+	return p.up && (p.peerSwitch == nil || !p.peerSwitch.down)
+}
+
+// liveCands filters the equal-cost candidate set to live ports. The
+// common all-live case returns the input slice untouched (route
+// closures share candidate slices, so they are never mutated); the
+// filtered copy lives in a per-switch scratch buffer.
+func (s *Switch) liveCands(cands []int) []int {
+	for i, c := range cands {
+		if s.portLive(c) {
+			continue
+		}
+		live := append(s.candBuf[:0], cands[:i]...)
+		for _, c2 := range cands[i+1:] {
+			if s.portLive(c2) {
+				live = append(live, c2)
+			}
+		}
+		s.candBuf = live
+		return live
+	}
+	return cands
+}
+
 // Receive forwards a packet: multicast replication along the group
-// tree, or unicast via spraying / per-flow ECMP over the candidate set.
+// tree, or unicast via spraying / per-flow ECMP over the live subset
+// of the candidate set. A packet with no live candidate is blackholed
+// and counted in RouteDrops.
 func (s *Switch) Receive(pkt *Packet) {
+	if s.down {
+		s.RouteDrops++
+		return
+	}
 	if pkt.Group >= 0 {
 		outs := s.Mcast[pkt.Group]
 		for i, out := range outs {
@@ -252,9 +395,10 @@ func (s *Switch) Receive(pkt *Packet) {
 	if s.Route == nil {
 		panic(fmt.Sprintf("netsim: switch %s has no route function", s.Name))
 	}
-	cands := s.Route(pkt)
+	cands := s.liveCands(s.Route(pkt))
 	if len(cands) == 0 {
-		return // no route: drop
+		s.RouteDrops++
+		return
 	}
 	var out int
 	switch {

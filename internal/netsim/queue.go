@@ -10,12 +10,18 @@ type Queue interface {
 	Stats() QueueStats
 }
 
-// QueueStats counts what happened to packets at this queue.
+// QueueStats counts what happened to packets at this queue, plus the
+// two fault counters. Queue disciplines themselves never fill the
+// fault fields: Port.QueueStats fills LinkDrops (that port's Lost),
+// and Network.QueueTotals additionally aggregates per-switch
+// RouteDrops blackholes and host-NIC losses.
 type QueueStats struct {
-	Enqueued int64
-	Dropped  int64
-	Trimmed  int64
-	Marked   int64
+	Enqueued   int64
+	Dropped    int64
+	Trimmed    int64
+	Marked     int64
+	RouteDrops int64
+	LinkDrops  int64
 }
 
 // fifo is a slice-backed ring-free FIFO; head compaction keeps

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"polyraptor/internal/chaos"
 	"polyraptor/internal/gf256"
 	"polyraptor/internal/harness"
 	"polyraptor/internal/raptorq"
@@ -277,7 +278,41 @@ func e2eCases(quick bool) []Case {
 			}
 		},
 	}
-	return []Case{fig1a, incast, shuffle}
+
+	// Fault injection: cross-pod flows with a quarter of the core
+	// links blackholed mid-flow. Stall-guard recovery makes this the
+	// scenario with the most timer churn and re-primed pulls per
+	// session — it tracks the cost of the failure paths themselves.
+	copt := harness.ChaosOptions{
+		FatTreeK: 4, Pattern: "one2one", Flows: 8, Bytes: 256 << 10,
+		Fault: chaos.Plan{
+			Kind: chaos.KindLinkDown, Layer: chaos.LayerCore,
+			Frac: 0.25, FailAt: 500 * time.Microsecond,
+		},
+		Deadline: time.Second,
+	}
+	if quick {
+		copt.Flows, copt.Bytes = 4, 64<<10
+	}
+	var chaosRun harness.ChaosRun
+	chaosCase := Case{
+		Name:    fmt.Sprintf("e2e/ChaosRQ/%dx%dKB-frac0.25", copt.Flows, copt.Bytes>>10),
+		OneShot: true,
+		Fn: func(n int) {
+			for i := 0; i < n; i++ {
+				chaosRun = harness.RunChaos(copt, store.BackendPolyraptor, 1)
+			}
+		},
+		Metrics: func() map[string]float64 {
+			return map[string]float64{
+				"completed":    float64(chaosRun.Completed),
+				"stall_rate":   chaosRun.StallRate(),
+				"fct_p99_s":    chaosRun.FCT.P99,
+				"goodput_gbps": chaosRun.GoodputGbps,
+			}
+		},
+	}
+	return []Case{fig1a, incast, shuffle, chaosCase}
 }
 
 func mean(xs []float64) float64 {

@@ -189,17 +189,23 @@ func TestStallGuardRefiresEveryPullTimeout(t *testing.T) {
 	}
 
 	// Discard the initial-window pull burst (all within the first
-	// ~1 ms); what remains are guard re-primes. With lastArrival at
-	// ~0.3 ms and the guard armed at t=0, re-primes land at ~4, 6 and
+	// ~1 ms); what remains are guard re-primes. The guard now primes a
+	// deficit-sized *burst* of pulls per firing (paced ~12 µs apart by
+	// the host pull pacer), so group pulls into bursts and take each
+	// burst's first arrival as the firing time. With lastArrival at
+	// ~0.3 ms and the guard armed at t=0, firings land at ~4, 6 and
 	// 8 ms: exactly PullTimeout apart.
 	var refires []sim.Time
 	for _, at := range guardPulls {
-		if at > d {
+		if at <= d {
+			continue
+		}
+		if len(refires) == 0 || at-refires[len(refires)-1] > d/2 {
 			refires = append(refires, at)
 		}
 	}
 	if len(refires) != 3 {
-		t.Fatalf("guard re-primes during blackout = %d (%v), want 3", len(refires), refires)
+		t.Fatalf("guard re-prime bursts during blackout = %d (%v), want 3", len(refires), refires)
 	}
 	for i := 1; i < len(refires); i++ {
 		gap := refires[i] - refires[i-1]
@@ -208,6 +214,38 @@ func TestStallGuardRefiresEveryPullTimeout(t *testing.T) {
 		}
 	}
 	assertNoOpenSessions(t, sys)
+}
+
+// TestStallGuardRotatesAcrossSenders: the guard's re-prime burst is
+// clamped to InitWindow, so with more senders than the window a fixed
+// round-robin start would pull the same leading senders every firing
+// and permanently starve the rest — fatal when the leading senders
+// are the unreachable ones. The rotation must reach every sender.
+func TestStallGuardRotatesAcrossSenders(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.InitWindow = 2 // guard burst (2) < sender count (3)
+	st := topology.NewStar(5, netsim.DefaultConfig())
+	sys := NewSystem(st.Net, cfg, 21)
+
+	// Swallow every data packet during the blackout (killing all pull
+	// chains); afterwards only sender host 3 — the *last* entry of the
+	// sender list — is reachable, so completion requires the guard's
+	// rotation to get past senders 1 and 2.
+	blackout := 5 * time.Millisecond
+	prev := st.Hosts[0].Deliver
+	st.Hosts[0].Deliver = func(p *netsim.Packet) {
+		if p.Kind == netsim.KindData && (st.Net.Now() < blackout || p.Src != 3) {
+			return
+		}
+		prev(p)
+	}
+
+	var evs []CompletionEvent
+	sys.StartMultiSource([]int{1, 2, 3}, 0, 64<<10, collect(&evs))
+	st.Net.Eng.RunUntil(2 * time.Second)
+	if len(evs) != 1 {
+		t.Fatal("session did not complete: the stall guard never reached the only live sender")
+	}
 }
 
 func TestShuffleAllPairsComplete(t *testing.T) {

@@ -31,6 +31,10 @@ type receiverSession struct {
 	lastArrival sim.Time
 	done        bool
 	detached    bool
+	// guardRR rotates the stall guard's round-robin start across
+	// firings so every sender eventually receives re-primed pulls
+	// even when the burst is clamped below the sender count.
+	guardRR int
 
 	// seen tracks distinct ESIs; allocated only when duplicates are
 	// possible (RandomESI ablation), since the partitioning scheme
@@ -111,16 +115,39 @@ func (rs *receiverSession) armTimeout() {
 		now := rs.sys.Net.Now()
 		if now-rs.lastArrival >= d {
 			// Session stalled: every in-flight pull or symbol was
-			// dropped. Re-prime one pull per sender. lastArrival is
+			// dropped. Re-prime up to a full window of pulls, sized by
+			// the known symbol deficit and spread round-robin across
+			// senders. The deficit-aware burst is what lets a session
+			// ride through a path blackhole (chaos runs): with fraction
+			// f of sprayed packets blackholed, a single re-primed pull
+			// chain dies after ~1/f symbols, while a window of W
+			// independent chains sustains ~W(1-f)² arrivals per
+			// timeout. Over-pulling is harmless — every elicited symbol
+			// is fresh (rateless), so the only cost is capacity the
+			// stalled session wasn't using anyway. lastArrival is
 			// deliberately NOT updated here — only a data arrival
 			// (onData) moves it — so if the re-primed pulls or their
 			// symbols are lost too, now-lastArrival still exceeds d at
 			// the next firing and the guard keeps re-firing every d
 			// until a symbol actually lands. Pinned by
 			// TestStallGuardRefiresEveryPullTimeout.
-			for _, s := range rs.senders {
+			deficit := rs.need - rs.distinct
+			if deficit < len(rs.senders) {
+				deficit = len(rs.senders)
+			}
+			if w := rs.sys.Cfg.InitWindow; deficit > w {
+				deficit = w
+			}
+			// Rotate the round-robin start across firings: with more
+			// senders than the clamped burst, a fixed start would
+			// starve the senders past the window forever (fatal when
+			// the early senders are the unreachable ones).
+			start := rs.guardRR
+			for i := 0; i < deficit; i++ {
+				s := rs.senders[(start+i)%len(rs.senders)]
 				rs.sys.Agents[rs.receiver].enqueuePull(rs.flow, rs.sys.Agents[s].host.ID)
 			}
+			rs.guardRR = (start + deficit) % len(rs.senders)
 		}
 		rs.timeout = rs.sys.Net.Eng.After(d, fire)
 	}

@@ -11,7 +11,6 @@ import (
 	"fmt"
 
 	"polyraptor/internal/netsim"
-	"polyraptor/internal/sim"
 )
 
 // FatTree is a k-ary fat-tree: k pods of k/2 edge and k/2 aggregation
@@ -292,38 +291,22 @@ func (ft *FatTree) Oversubscribe(ratio int64) {
 }
 
 // DegradeCoreLinks models network hotspots (the paper's "current
-// work" scenario): a random fraction of agg<->core links in both
+// work" scenario): a seeded fraction of agg<->core links in both
 // directions has its rate divided by `divisor`. It returns the number
-// of degraded links. Traffic sprayed across all equal-cost paths
-// (Polyraptor) flows around the hotspots; hash-pinned flows (TCP) that
-// land on one are stuck with it.
+// of degraded links — exactly PickCount(len(CoreLinks()), frac), the
+// same deterministic selection primitive the chaos engine uses.
+// Traffic sprayed across all equal-cost paths (Polyraptor) flows
+// around the hotspots; hash-pinned flows (TCP) that land on one are
+// stuck with it.
 func (ft *FatTree) DegradeCoreLinks(frac float64, divisor int64, seed int64) int {
 	if divisor < 1 {
 		panic("topology: divisor must be >= 1")
 	}
-	rng := sim.RNG(seed, "hotspots")
-	degraded := 0
-	half := ft.K / 2
-	for _, agg := range ft.aggs {
-		for up := half; up < ft.K; up++ {
-			if rng.Float64() >= frac {
-				continue
-			}
-			aggPort := agg.Ports[up]
-			aggPort.SetRate(aggPort.Rate() / divisor)
-			// Degrade the reverse direction too: the core port whose
-			// peer is this aggregation switch.
-			core := aggPort.Peer().(*netsim.Switch)
-			for _, cp := range core.Ports {
-				if cp.Peer() == netsim.Node(agg) {
-					cp.SetRate(cp.Rate() / divisor)
-					break
-				}
-			}
-			degraded++
-		}
+	picked := PickLinks(ft.CoreLinks(), frac, seed)
+	for _, l := range picked {
+		l.DivideRate(divisor)
 	}
-	return degraded
+	return len(picked)
 }
 
 // PruneMulticastLeaf removes one receiver's leaf port from a group's

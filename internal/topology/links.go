@@ -1,0 +1,163 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"polyraptor/internal/netsim"
+	"polyraptor/internal/sim"
+)
+
+// Chaos targeting helpers: enumerate the fat tree's links and switches
+// by layer in a deterministic order, and pick a seeded fraction of
+// them — the one source of truth behind fault injection
+// (internal/chaos) and the hotspot degradation experiment.
+
+// Link is one full-duplex fabric link: the two simplex ports, one per
+// direction. Fault and rate operations apply to both.
+type Link struct {
+	// Name identifies the link for logs and event traces
+	// ("agg-0-1<->core-3").
+	Name string
+	// A and B are the two directions (A's owner faces B's owner).
+	A, B *netsim.Port
+}
+
+// SetUp takes both directions of the link down or up.
+func (l Link) SetUp(up bool) {
+	l.A.SetUp(up)
+	l.B.SetUp(up)
+}
+
+// SetLossRate applies a random-loss probability to both directions.
+func (l Link) SetLossRate(r float64) {
+	l.A.SetLossRate(r)
+	l.B.SetLossRate(r)
+}
+
+// DivideRate divides both directions' transmission rate by div.
+func (l Link) DivideRate(div int64) {
+	l.A.SetRate(l.A.Rate() / div)
+	l.B.SetRate(l.B.Rate() / div)
+}
+
+// reversePort returns the port on `peer` whose far end is `owner` —
+// the other direction of a full-duplex link.
+func reversePort(peer *netsim.Switch, owner netsim.Node) *netsim.Port {
+	for _, p := range peer.Ports {
+		if p.Peer() == owner {
+			return p
+		}
+	}
+	panic(fmt.Sprintf("topology: no reverse port on %s", peer.Name))
+}
+
+// CoreLinks enumerates every agg<->core link (k^3/4 of them),
+// agg-major in pod order — the layer whose failures the paper's
+// path-redundancy claim is about.
+func (ft *FatTree) CoreLinks() []Link {
+	half := ft.K / 2
+	out := make([]Link, 0, len(ft.aggs)*half)
+	for _, agg := range ft.aggs {
+		for up := half; up < ft.K; up++ {
+			ap := agg.Ports[up]
+			core := ap.Peer().(*netsim.Switch)
+			out = append(out, Link{
+				Name: fmt.Sprintf("%s<->%s", agg.Name, core.Name),
+				A:    ap,
+				B:    reversePort(core, agg),
+			})
+		}
+	}
+	return out
+}
+
+// AggLinks enumerates every edge<->agg link (k^3/4), edge-major.
+func (ft *FatTree) AggLinks() []Link {
+	half := ft.K / 2
+	out := make([]Link, 0, len(ft.edges)*half)
+	for _, edge := range ft.edges {
+		for up := half; up < ft.K; up++ {
+			ep := edge.Ports[up]
+			agg := ep.Peer().(*netsim.Switch)
+			out = append(out, Link{
+				Name: fmt.Sprintf("%s<->%s", edge.Name, agg.Name),
+				A:    ep,
+				B:    reversePort(agg, edge),
+			})
+		}
+	}
+	return out
+}
+
+// HostLinks enumerates every host<->edge link (k^3/4) in host order.
+func (ft *FatTree) HostLinks() []Link {
+	out := make([]Link, 0, len(ft.Hosts))
+	for h, host := range ft.Hosts {
+		pod, e, pos := ft.edgeOf(h)
+		edge := ft.edge(pod, e)
+		out = append(out, Link{
+			Name: fmt.Sprintf("host-%d<->%s", h, edge.Name),
+			A:    host.NIC,
+			B:    edge.Ports[pos],
+		})
+	}
+	return out
+}
+
+// CoreSwitches returns the core layer ((k/2)^2 switches).
+func (ft *FatTree) CoreSwitches() []*netsim.Switch { return ft.cores }
+
+// AggSwitches returns the aggregation layer (k^2/2 switches).
+func (ft *FatTree) AggSwitches() []*netsim.Switch { return ft.aggs }
+
+// EdgeSwitches returns the edge (ToR) layer (k^2/2 switches).
+func (ft *FatTree) EdgeSwitches() []*netsim.Switch { return ft.edges }
+
+// PickCount returns how many of n targets a fraction selects:
+// round(frac*n), clamped to [0, n]. Exposed so callers can validate
+// or report the exact blast radius before injecting anything.
+func PickCount(n int, frac float64) int {
+	c := int(math.Round(frac * float64(n)))
+	if c < 0 {
+		c = 0
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// pickIndices selects PickCount(n, frac) indices by a seeded shuffle,
+// returned in ascending order — the single deterministic "pick a
+// fraction" primitive shared by link and switch targeting.
+func pickIndices(n int, frac float64, seed int64) []int {
+	count := PickCount(n, frac)
+	idx := sim.RNG(seed, "pick-fraction").Perm(n)[:count]
+	sort.Ints(idx)
+	return idx
+}
+
+// PickLinks returns a seeded selection of round(frac*len(links))
+// links, in enumeration order. Same (links, frac, seed) always yields
+// the same selection.
+func PickLinks(links []Link, frac float64, seed int64) []Link {
+	idx := pickIndices(len(links), frac, seed)
+	out := make([]Link, len(idx))
+	for i, j := range idx {
+		out[i] = links[j]
+	}
+	return out
+}
+
+// PickSwitches returns a seeded selection of round(frac*len(sws))
+// switches, in enumeration order.
+func PickSwitches(sws []*netsim.Switch, frac float64, seed int64) []*netsim.Switch {
+	idx := pickIndices(len(sws), frac, seed)
+	out := make([]*netsim.Switch, len(idx))
+	for i, j := range idx {
+		out[i] = sws[j]
+	}
+	return out
+}
