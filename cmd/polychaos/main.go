@@ -24,6 +24,7 @@
 //	polychaos -fault flap -flap-period 10ms -recover-at 100ms
 //	polychaos -pattern shuffle -mappers 6 -reducers 6
 //	polychaos -runs 5 -json > chaos.json             # 5 seeds per backend, aggregated
+//	polychaos -trace -trace-out chaos                # PolyScope trace per backend + explain report
 package main
 
 import (
@@ -32,11 +33,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"polyraptor/internal/chaos"
 	"polyraptor/internal/harness"
 	"polyraptor/internal/store"
 	"polyraptor/internal/sweep"
+	"polyraptor/internal/telemetry"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -73,6 +76,8 @@ func run(args []string, out, errw io.Writer) int {
 		csv      = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		jsonOut  = fs.Bool("json", false, "emit aggregated sweep JSON (implies the multi-seed path)")
 		verbose  = fs.Bool("v", false, "single-run mode: list struck targets and the fault event log")
+		trace    = fs.Bool("trace", false, "single-run mode: record a PolyScope trace per backend and write Perfetto/CSV/explain files")
+		traceOut = fs.String("trace-out", "polyscope", "base path for -trace files (<base>-<backend>.trace.json, ...)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -131,21 +136,57 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintln(errw, "polychaos: -csv and -json are mutually exclusive")
 		return 2
 	}
+	if *trace && (*nruns > 1 || *jsonOut) {
+		fmt.Fprintln(errw, "polychaos: -trace applies to the single-run mode (drop -runs/-json, or use polysweep -scenarios chaos -trace)")
+		return 2
+	}
 
 	if *nruns > 1 || *jsonOut {
 		return runSweep(opt, kinds, *seed, *nruns, *parallel, *csv, *jsonOut, out, errw)
 	}
 
-	runs, err := harness.RunChaosAll(opt, kinds, *seed, *parallel)
-	if err != nil {
-		fmt.Fprintf(errw, "polychaos: %v\n", err)
-		return 1
+	var runs []harness.ChaosRun
+	var traces []*telemetry.Trace
+	if *trace {
+		// Traced runs are still independent simulations; run them on
+		// the same worker pool, one trace per backend.
+		topt := &harness.TraceOptions{}
+		runs = make([]harness.ChaosRun, len(kinds))
+		traces = make([]*telemetry.Trace, len(kinds))
+		sweep.ForEach(len(kinds), *parallel, func(i int) {
+			runs[i], traces[i] = harness.RunChaosTraced(opt, kinds[i], *seed, topt)
+		})
+	} else {
+		var err error
+		runs, err = harness.RunChaosAll(opt, kinds, *seed, *parallel)
+		if err != nil {
+			fmt.Fprintf(errw, "polychaos: %v\n", err)
+			return 1
+		}
 	}
 	if *csv {
 		writeCSV(out, runs)
-		return 0
+	} else {
+		writeTable(out, opt, runs, *seed, *verbose)
 	}
-	writeTable(out, opt, runs, *seed, *verbose)
+	for i, tr := range traces {
+		base := fmt.Sprintf("%s-%s", *traceOut, runs[i].Backend)
+		paths, err := tr.WriteFiles(base)
+		if err != nil {
+			fmt.Fprintf(errw, "polychaos: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(errw, "polychaos: wrote %s\n", strings.Join(paths, ", "))
+		if !*csv {
+			// The explain report is the trace's headline: which flows
+			// stalled and what killed them. CSV stdout stays pure.
+			fmt.Fprintln(out)
+			if err := tr.WriteExplain(out); err != nil {
+				fmt.Fprintf(errw, "polychaos: %v\n", err)
+				return 1
+			}
+		}
+	}
 	return 0
 }
 

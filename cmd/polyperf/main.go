@@ -10,6 +10,7 @@
 //	polyperf -out perf.json # explicit output path
 //	polyperf -out -         # JSON to stdout
 //	polyperf -list          # print suite case names and exit
+//	polyperf -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Progress lines go to stderr; only the report goes to the output.
 package main
@@ -21,6 +22,8 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 
 	"polyraptor/internal/perfbench"
@@ -34,9 +37,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("polyperf", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		quick = fs.Bool("quick", false, "small workloads and short budgets (CI smoke)")
-		out   = fs.String("out", "", `output path; "" = next BENCH_<n>.json in the working directory, "-" = stdout`)
-		list  = fs.Bool("list", false, "print suite case names and exit")
+		quick      = fs.Bool("quick", false, "small workloads and short budgets (CI smoke)")
+		out        = fs.String("out", "", `output path; "" = next BENCH_<n>.json in the working directory, "-" = stdout`)
+		list       = fs.Bool("list", false, "print suite case names and exit")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile (taken after the suite) to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
@@ -49,6 +54,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, c.Name)
 		}
 		return 0
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "polyperf: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(stderr, "polyperf: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memprofile); err != nil {
+				fmt.Fprintf(stderr, "polyperf: %v\n", err)
+			}
+		}()
 	}
 
 	rep := perfbench.Run(perfbench.Options{Quick: *quick, Progress: stderr})
@@ -88,6 +117,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stderr, "polyperf: wrote %s (%d results)\n", path, len(rep.Results))
 	return 0
+}
+
+// writeHeapProfile snapshots the heap after a GC — the suite's live
+// set, not transient garbage — into the named file.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 var benchName = regexp.MustCompile(`^BENCH_(\d+)\.json$`)

@@ -17,6 +17,7 @@
 //	polyshuffle -skew 1.1 -straggler 4           # hot reducers + a 4x straggler mapper
 //	polyshuffle -backend rq,tcp -csv
 //	polyshuffle -runs 5 -json > shuffle.json     # 5 seeds per backend, aggregated
+//	polyshuffle -trace -trace-out shuffle        # PolyScope trace per backend
 package main
 
 import (
@@ -25,10 +26,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"polyraptor/internal/harness"
 	"polyraptor/internal/store"
 	"polyraptor/internal/sweep"
+	"polyraptor/internal/telemetry"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -52,6 +55,8 @@ func run(args []string, out, errw io.Writer) int {
 		parallel  = fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		csv       = fs.Bool("csv", false, "emit CSV instead of an aligned table")
 		jsonOut   = fs.Bool("json", false, "emit aggregated sweep JSON (implies the multi-seed path)")
+		trace     = fs.Bool("trace", false, "single-run mode: record a PolyScope trace per backend and write Perfetto/CSV/explain files")
+		traceOut  = fs.String("trace-out", "polyscope", "base path for -trace files (<base>-<backend>.trace.json, ...)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -88,21 +93,48 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintln(errw, "polyshuffle: -csv and -json are mutually exclusive")
 		return 2
 	}
+	if *trace && (*nruns > 1 || *jsonOut) {
+		fmt.Fprintln(errw, "polyshuffle: -trace applies to the single-run mode (drop -runs/-json, or use polysweep -scenarios shuffle -trace)")
+		return 2
+	}
 
 	if *nruns > 1 || *jsonOut {
 		return runSweep(opt, kinds, *seed, *nruns, *parallel, *csv, *jsonOut, out, errw)
 	}
 
-	runs, err := harness.RunShuffleAll(opt, kinds, *seed, *parallel)
-	if err != nil {
-		fmt.Fprintf(errw, "polyshuffle: %v\n", err)
-		return 1
+	var runs []harness.ShuffleRun
+	var traces []*telemetry.Trace
+	if *trace {
+		// Traced runs are still independent simulations; run them on
+		// the same worker pool, one trace per backend.
+		topt := &harness.TraceOptions{}
+		runs = make([]harness.ShuffleRun, len(kinds))
+		traces = make([]*telemetry.Trace, len(kinds))
+		sweep.ForEach(len(kinds), *parallel, func(i int) {
+			runs[i], traces[i] = harness.RunShuffleTraced(opt, kinds[i], *seed, topt)
+		})
+	} else {
+		var err error
+		runs, err = harness.RunShuffleAll(opt, kinds, *seed, *parallel)
+		if err != nil {
+			fmt.Fprintf(errw, "polyshuffle: %v\n", err)
+			return 1
+		}
 	}
 	if *csv {
 		writeCSV(out, runs)
-		return 0
+	} else {
+		writeTable(out, opt, runs)
 	}
-	writeTable(out, opt, runs)
+	for i, tr := range traces {
+		base := fmt.Sprintf("%s-%s", *traceOut, runs[i].Backend)
+		paths, err := tr.WriteFiles(base)
+		if err != nil {
+			fmt.Fprintf(errw, "polyshuffle: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(errw, "polyshuffle: wrote %s\n", strings.Join(paths, ", "))
+	}
 	return 0
 }
 

@@ -15,6 +15,7 @@
 //	polysim -proto rq  -pattern multicast -replicas 5 -detach
 //	polysim -proto rq  -pattern incast -runs 5            # 5 seeds, parallel, aggregated
 //	polysim -proto rq  -pattern incast -runs 5 -parallel 1
+//	polysim -proto tcp -pattern incast -trace             # PolyScope trace of the run
 package main
 
 import (
@@ -23,12 +24,15 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"polyraptor/internal/netsim"
 	"polyraptor/internal/polyraptor"
 	"polyraptor/internal/sim"
 	"polyraptor/internal/sweep"
 	"polyraptor/internal/tcpsim"
+	"polyraptor/internal/telemetry"
 	"polyraptor/internal/topology"
 	"polyraptor/internal/workload"
 )
@@ -45,6 +49,9 @@ type scenario struct {
 	senders  int
 	detach   bool
 	trim     bool
+	// traceBase, when non-empty, attaches a PolyScope trace to the run
+	// and writes the export set (<traceBase>.trace.json, ...) after it.
+	traceBase string
 }
 
 // run is main with its dependencies injected, so tests can drive the
@@ -64,6 +71,8 @@ func run(args []string, out, errw io.Writer) int {
 		trim     = fs.Bool("trim", true, "NDP packet trimming switches (rq)")
 		runs     = fs.Int("runs", 1, "repetitions over derived sub-seeds (1 = verbose single run)")
 		parallel = fs.Int("parallel", 0, "max concurrent runs with -runs > 1 (0 = GOMAXPROCS)")
+		trace    = fs.Bool("trace", false, "single-run mode: record a PolyScope trace and write Perfetto/CSV/explain files")
+		traceOut = fs.String("trace-out", "polyscope", "base path for -trace files (<base>.trace.json, ...)")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -83,6 +92,13 @@ func run(args []string, out, errw io.Writer) int {
 	if *runs < 1 {
 		fmt.Fprintf(errw, "polysim: -runs must be >= 1, got %d\n", *runs)
 		return 2
+	}
+	if *trace {
+		if *runs > 1 {
+			fmt.Fprintln(errw, "polysim: -trace applies to the single-run mode (drop -runs, or use polysweep -trace)")
+			return 2
+		}
+		sc.traceBase = *traceOut
 	}
 
 	if *runs == 1 {
@@ -185,7 +201,20 @@ func (sc scenario) runOnce(seed int64, w io.Writer) (sweep.Metrics, error) {
 			sc.k, ft.NumHosts(), ncfg.LinkRate/1e6, ncfg.LinkDelay, ncfg.Trimming, ncfg.ECNThreshold)
 	}
 
+	// PolyScope tracing: the recorder must be attached before any flow
+	// starts so session-open events land in it; the probe starts after
+	// all flows exist so every gauge sees every tick.
+	var tr *telemetry.Trace
+	if sc.traceBase != "" {
+		tr = telemetry.New(telemetry.Options{})
+		tr.SetMeta("scenario", sc.pattern)
+		tr.SetMeta("backend", sc.proto)
+		tr.SetMeta("seed", strconv.FormatInt(seed, 10))
+		ft.Net.Rec = tr.Rec
+	}
+
 	var last sim.Time
+	var openSessions func() float64
 	transferred := sc.bytes // bytes the pattern moves end to end
 	if sc.pattern == "incast" {
 		transferred = sc.bytes * int64(sc.senders)
@@ -196,6 +225,7 @@ func (sc scenario) runOnce(seed int64, w io.Writer) (sweep.Metrics, error) {
 		pcfg.StragglerDetach = sc.detach
 		sys := polyraptor.NewSystem(ft.Net, pcfg, seed)
 		sys.PruneGroup = ft.PruneMulticastLeaf
+		openSessions = func() float64 { send, recv := sys.OpenSessions(); return float64(send + recv) }
 		report := func(ev polyraptor.CompletionEvent) {
 			if ev.End > last {
 				last = ev.End
@@ -227,6 +257,7 @@ func (sc scenario) runOnce(seed int64, w io.Writer) (sweep.Metrics, error) {
 			tcfg = tcpsim.DCTCPConfig()
 		}
 		sys := tcpsim.NewSystem(ft.Net, tcfg)
+		openSessions = func() float64 { return float64(sys.OpenFlows()) }
 		report := func(r tcpsim.FlowResult) {
 			if r.End > last {
 				last = r.End
@@ -255,11 +286,26 @@ func (sc scenario) runOnce(seed int64, w io.Writer) (sweep.Metrics, error) {
 		}
 	}
 
+	if tr != nil {
+		ft.Net.RegisterProbes(tr.Probe)
+		tr.Probe.Gauge("open-sessions", "count", openSessions)
+		tr.Start(ft.Net.Eng)
+	}
 	ft.Net.Eng.Run()
 	tot := ft.Net.QueueTotals()
 	if w != nil {
 		fmt.Fprintf(w, "switch queues: %d enqueued, %d trimmed, %d dropped (events: %d)\n",
 			tot.Enqueued, tot.Trimmed, tot.Dropped, ft.Net.Eng.Processed())
+	}
+	if tr != nil {
+		tr.Finish(ft.Net.Now())
+		paths, err := tr.WriteFiles(sc.traceBase)
+		if err != nil {
+			return nil, err
+		}
+		if w != nil {
+			fmt.Fprintf(w, "trace: wrote %s\n", strings.Join(paths, ", "))
+		}
 	}
 	if last <= 0 {
 		return nil, fmt.Errorf("no session completed (pattern %s)", sc.pattern)

@@ -19,6 +19,8 @@
 //	polysweep -scenarios ablations -seeds 3
 //	polysweep -scenarios chaos -chaos-frac 0.25 -chaos-recover-at 50ms
 //	polysweep -parallel 1                            # serial reference run
+//	polysweep -scenarios chaos -trace -v             # PolyScope trace per run, progress on stderr
+//	polysweep -cpuprofile sweep.pprof -memprofile sweep.mprof
 package main
 
 import (
@@ -27,13 +29,17 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"polyraptor/internal/chaos"
 	"polyraptor/internal/harness"
 	"polyraptor/internal/store"
 	"polyraptor/internal/sweep"
+	"polyraptor/internal/telemetry"
 	"polyraptor/internal/topology"
 )
 
@@ -53,6 +59,13 @@ func run(args []string, out, errw io.Writer) int {
 		seed      = fs.Int64("seed", 1, "base seed for sub-seed derivation")
 		parallel  = fs.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS)")
 		format    = fs.String("format", "table", "output format: table, csv, json")
+		verbose   = fs.Bool("v", false, "print per-run progress to stderr as cells finish")
+
+		trace    = fs.Bool("trace", false, "record a PolyScope trace for every run (incast/shuffle/chaos scenarios) and write per-run export files")
+		traceOut = fs.String("trace-out", "polyscope", "base path for -trace files (<base>-<scenario>-<backend>-s<seed>.trace.json, ...)")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the whole sweep to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile (taken after the sweep) to this file")
 
 		k        = fs.Int("k", def.FatTreeK, "fat-tree arity (k even; hosts = k^3/4)")
 		bytes    = fs.Int64("bytes", def.Bytes, "object bytes (per sender for incast)")
@@ -159,6 +172,31 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintf(errw, "polysweep: %v\n", err)
 		return 2
 	}
+	if *trace {
+		// Traceable-scenario validation happens in NewSweepCell, but
+		// ablation cells bypass it — reject the combination here so
+		// -trace never silently produces nothing.
+		for _, s := range scen {
+			if s == "ablations" {
+				fmt.Fprintf(errw, "polysweep: -trace does not support the ablations bundle (traceable: %v)\n",
+					harness.TraceableScenarios())
+				return 2
+			}
+		}
+		p.Trace = &harness.TraceOptions{}
+		var traceMu sync.Mutex
+		p.TraceSink = func(scenario, backend string, seed int64, tr *telemetry.Trace) {
+			base := fmt.Sprintf("%s-%s-%s-s%d", *traceOut, scenario, backend, seed)
+			paths, err := tr.WriteFiles(base)
+			traceMu.Lock()
+			defer traceMu.Unlock()
+			if err != nil {
+				fmt.Fprintf(errw, "polysweep: trace %s: %v\n", base, err)
+				return
+			}
+			fmt.Fprintf(errw, "polysweep: wrote %s\n", strings.Join(paths, ", "))
+		}
+	}
 	kinds, err := store.ParseBackends(*backends)
 	if err != nil {
 		fmt.Fprintf(errw, "polysweep: %v\n", err)
@@ -167,6 +205,30 @@ func run(args []string, out, errw io.Writer) int {
 	if err := validateParams(p, scen); err != nil {
 		fmt.Fprintf(errw, "polysweep: %v\n", err)
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(errw, "polysweep: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fmt.Fprintf(errw, "polysweep: %v\n", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			if err := writeHeapProfile(*memprofile); err != nil {
+				fmt.Fprintf(errw, "polysweep: %v\n", err)
+			}
+		}()
 	}
 
 	var cells []sweep.Cell
@@ -192,7 +254,15 @@ func run(args []string, out, errw io.Writer) int {
 	}
 
 	start := time.Now()
-	res, err := sweep.Matrix{Cells: cells, Seeds: *seeds, BaseSeed: *seed, Parallelism: *parallel}.Run()
+	m := sweep.Matrix{Cells: cells, Seeds: *seeds, BaseSeed: *seed, Parallelism: *parallel}
+	if *verbose {
+		// Progress lines go to stderr in completion order; stdout stays
+		// byte-identical across parallelism settings.
+		m.Progress = func(done, total int, cell sweep.Cell, seed int64) {
+			fmt.Fprintf(errw, "polysweep: [%d/%d] %s seed=%d\n", done, total, cell.Name(), seed)
+		}
+	}
+	res, err := m.Run()
 	if err != nil {
 		fmt.Fprintf(errw, "polysweep: %v\n", err)
 		return 1
@@ -306,6 +376,21 @@ func validateParams(p harness.SweepParams, scenarios []string) error {
 		return fmt.Errorf("bytes must be >= 1, got %d", p.Bytes)
 	}
 	return nil
+}
+
+// writeHeapProfile snapshots the heap after a GC — the sweep's live
+// set, not transient garbage — into the named file.
+func writeHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // failedRuns counts repetitions that errored across all cells.

@@ -23,6 +23,7 @@ import (
 
 	"polyraptor/internal/netsim"
 	"polyraptor/internal/sim"
+	"polyraptor/internal/telemetry"
 	"polyraptor/internal/topology"
 )
 
@@ -197,6 +198,11 @@ type Injection struct {
 	Targets []string
 	// Events logs every executed action in timeline order.
 	Events []Event
+
+	// rec mirrors the log into the PolyScope flight recorder (nil when
+	// tracing is off), so fault executions land on the trace timeline
+	// next to the flows they strand.
+	rec *telemetry.Recorder
 }
 
 // TargetCount returns how many links/switches the plan struck.
@@ -204,6 +210,9 @@ func (in *Injection) TargetCount() int { return len(in.Targets) }
 
 func (in *Injection) log(at sim.Time, action, target string) {
 	in.Events = append(in.Events, Event{At: at, Action: action, Target: target})
+	if in.rec != nil {
+		in.rec.RecordLabel(at, -1, telemetry.EvFault, -1, action+" "+target)
+	}
 }
 
 // layerLinks enumerates the plan's link layer.
@@ -239,7 +248,7 @@ func Inject(ft *topology.FatTree, p Plan) (*Injection, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	in := &Injection{Plan: p}
+	in := &Injection{Plan: p, rec: ft.Net.Rec}
 	eng := ft.Net.Eng
 
 	if p.Kind == KindSwitchKill {

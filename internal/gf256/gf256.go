@@ -25,6 +25,21 @@ import "encoding/binary"
 // Polynomial x^8 + x^4 + x^3 + x^2 + 1, per RFC 6330 §5.7.2.
 const reductionPoly = 0x11D
 
+// Features reports which accelerated kernel paths this build selected
+// at startup, in a stable order. An empty slice means the portable
+// word-wise kernels only. Intended for perf-report metadata, so runs
+// on different hardware are comparable.
+func Features() []string {
+	var fs []string
+	if haveSSE2 {
+		fs = append(fs, "sse2")
+	}
+	if useSSSE3 {
+		fs = append(fs, "ssse3")
+	}
+	return fs
+}
+
 // expTable[i] = alpha^i for i in [0, 510). Doubled so that
 // mul can index expTable[log(a)+log(b)] without a modulo.
 var expTable [510]byte

@@ -12,6 +12,7 @@ import (
 	"polyraptor/internal/store"
 	"polyraptor/internal/sweep"
 	"polyraptor/internal/tcpsim"
+	"polyraptor/internal/telemetry"
 	"polyraptor/internal/topology"
 	"polyraptor/internal/workload"
 )
@@ -283,6 +284,14 @@ func drawChaosWorkload(o ChaosOptions, ft *topology.FatTree, seed int64) chaosWo
 // workload draw and the fault targets depend only on the seed, so
 // backends compare on identical scenarios.
 func RunChaos(o ChaosOptions, backend store.BackendKind, seed int64) ChaosRun {
+	r, _ := RunChaosTraced(o, backend, seed, nil)
+	return r
+}
+
+// RunChaosTraced is RunChaos with an optional PolyScope trace
+// attached (nil topt reproduces RunChaos exactly). The returned trace
+// is finished and ready for export; it is nil when topt is nil.
+func RunChaosTraced(o ChaosOptions, backend store.BackendKind, seed int64, topt *TraceOptions) (ChaosRun, *telemetry.Trace) {
 	if err := o.Validate(); err != nil {
 		panic(fmt.Sprintf("harness: %v", err))
 	}
@@ -290,6 +299,7 @@ func RunChaos(o ChaosOptions, backend store.BackendKind, seed int64) ChaosRun {
 	if err != nil {
 		panic(err)
 	}
+	tr := newTrace(ft, topt, "chaos", backend, seed)
 	plan := o.Fault
 	plan.Seed = seed
 	inj, err := chaos.Inject(ft, plan)
@@ -312,9 +322,11 @@ func RunChaos(o ChaosOptions, backend store.BackendKind, seed int64) ChaosRun {
 	}
 
 	run.Flows = len(w.srcs)
-	startChaosFlows(ft, backend, seed, w, o.Pattern == "multicast", record)
+	open := startChaosFlows(ft, backend, seed, w, o.Pattern == "multicast", record)
+	startTrace(tr, ft, open)
 
 	ft.Net.Eng.RunUntil(o.Deadline)
+	finishTrace(tr, ft.Net.Now())
 
 	run.Stalled = run.Flows - run.Completed
 	run.FCT = stats.Summarize(fcts)
@@ -328,24 +340,27 @@ func RunChaos(o ChaosOptions, backend store.BackendKind, seed int64) ChaosRun {
 	run.LinkDrops = tot.LinkDrops
 	run.QueueDrops = tot.Dropped
 	run.Trimmed = tot.Trimmed
-	return run
+	return run, tr
 }
 
 // startChaosFlows starts the pairwise patterns (one2one, incast,
 // multicast) on the chosen transport. FCTs are per transfer; the
 // multicast pattern completes once per receiver on both transports
-// (rq runs one group session, TCP multi-unicasts).
-func startChaosFlows(ft *topology.FatTree, backend store.BackendKind, seed int64, w chaosWorkload, multicast bool, record func(int64, sim.Time)) {
+// (rq runs one group session, TCP multi-unicasts). The returned gauge
+// reads the transport's live session/flow count — the trace probe's
+// open-sessions channel.
+func startChaosFlows(ft *topology.FatTree, backend store.BackendKind, seed int64, w chaosWorkload, multicast bool, record func(int64, sim.Time)) func() float64 {
 	if backend == store.BackendPolyraptor {
 		sys := polyraptor.NewSystem(ft.Net, polyraptor.DefaultConfig(), seed)
 		sys.PruneGroup = ft.PruneMulticastLeaf
+		open := func() float64 { send, recv := sys.OpenSessions(); return float64(send + recv) }
 		if multicast {
 			g := ft.InstallMulticastGroup(w.srcs[0], w.dsts)
 			bytes := w.bytes[0]
 			sys.StartMulticast(w.srcs[0], w.dsts, g, bytes, func(ev polyraptor.CompletionEvent) {
 				record(bytes, ev.End)
 			})
-			return
+			return open
 		}
 		for i := range w.srcs {
 			bytes := w.bytes[i]
@@ -353,7 +368,7 @@ func startChaosFlows(ft *topology.FatTree, backend store.BackendKind, seed int64
 				record(bytes, ev.End)
 			})
 		}
-		return
+		return open
 	}
 	sys := tcpsim.NewSystem(ft.Net, backendTCPConfig(backend))
 	for i := range w.srcs {
@@ -362,6 +377,7 @@ func startChaosFlows(ft *topology.FatTree, backend store.BackendKind, seed int64
 			record(bytes, r.End)
 		})
 	}
+	return func() float64 { return float64(sys.OpenFlows()) }
 }
 
 // backendTCPConfig maps the baseline backends to their stacks.

@@ -12,8 +12,10 @@ import (
 	"polyraptor/internal/polyraptor"
 	"polyraptor/internal/sim"
 	"polyraptor/internal/stats"
+	"polyraptor/internal/store"
 	"polyraptor/internal/sweep"
 	"polyraptor/internal/tcpsim"
+	"polyraptor/internal/telemetry"
 	"polyraptor/internal/topology"
 	"polyraptor/internal/workload"
 )
@@ -338,89 +340,89 @@ func BenchIncastOptions() IncastOptions {
 // (senders, bytes, seed) point: n synchronized senders each transfer
 // their own block to one client; goodput is total bytes over makespan.
 func RunIncastRQ(opt IncastOptions, senders int, bytes int64, seed int64) float64 {
-	ncfg := netsim.DefaultConfig()
-	ncfg.Seed = seed
-	ncfg.Trimming = opt.Trimming
-	ft, err := topology.NewFatTree(opt.FatTreeK, ncfg)
-	if err != nil {
-		panic(err)
-	}
-	sys := polyraptor.NewSystem(ft.Net, polyraptor.DefaultConfig(), seed)
-	ic := workload.GenerateIncast(workload.IncastConfig{Senders: senders, BytesPerSender: bytes, Seed: seed}, ft)
-	var last sim.Time
-	done := 0
-	for _, s := range ic.Senders {
-		sys.StartUnicast(s, ic.Client, ic.Bytes, func(ev polyraptor.CompletionEvent) {
-			if ev.End > last {
-				last = ev.End
-			}
-			done++
-		})
-	}
-	ft.Net.Eng.Run()
-	if done != senders {
-		panic(fmt.Sprintf("harness: incast RQ finished %d/%d sessions", done, senders))
-	}
-	return gbps(bytes*int64(senders), last)
+	g, _ := RunIncastTraced(opt, store.BackendPolyraptor, senders, bytes, seed, nil)
+	return g
 }
 
 // RunIncastTCP measures the TCP baseline for one incast point.
 func RunIncastTCP(opt IncastOptions, senders int, bytes int64, seed int64) float64 {
-	ncfg := netsim.DefaultConfig()
-	ncfg.Seed = seed
-	ncfg.Trimming = false
-	ft, err := topology.NewFatTree(opt.FatTreeK, ncfg)
-	if err != nil {
-		panic(err)
-	}
-	sys := tcpsim.NewSystem(ft.Net, tcpsim.DefaultConfig())
-	ic := workload.GenerateIncast(workload.IncastConfig{Senders: senders, BytesPerSender: bytes, Seed: seed}, ft)
-	var last sim.Time
-	done := 0
-	for _, s := range ic.Senders {
-		sys.StartFlow(s, ic.Client, ic.Bytes, func(r tcpsim.FlowResult) {
-			if r.End > last {
-				last = r.End
-			}
-			done++
-		})
-	}
-	ft.Net.Eng.Run()
-	if done != senders {
-		panic(fmt.Sprintf("harness: incast TCP finished %d/%d flows", done, senders))
-	}
-	return gbps(bytes*int64(senders), last)
+	g, _ := RunIncastTraced(opt, store.BackendTCP, senders, bytes, seed, nil)
+	return g
 }
 
 // RunIncastDCTCP measures the DCTCP baseline (extension E3) for one
 // incast point: ECN-marking drop-tail switches (K=20) and DCTCP
 // congestion control.
 func RunIncastDCTCP(opt IncastOptions, senders int, bytes int64, seed int64) float64 {
+	g, _ := RunIncastTraced(opt, store.BackendDCTCP, senders, bytes, seed, nil)
+	return g
+}
+
+// RunIncastTraced runs one incast point under the named backend with
+// an optional PolyScope trace attached (nil topt reproduces the
+// untraced entry points exactly — they all delegate here). Polyraptor
+// runs on trimming switches per opt.Trimming; TCP on classic
+// drop-tail; DCTCP on ECN-marking drop-tail (K=20).
+func RunIncastTraced(opt IncastOptions, backend store.BackendKind, senders int, bytes int64, seed int64, topt *TraceOptions) (float64, *telemetry.Trace) {
 	ncfg := netsim.DefaultConfig()
 	ncfg.Seed = seed
-	ncfg.Trimming = false
-	ncfg.ECNThreshold = 20
+	switch backend {
+	case store.BackendPolyraptor:
+		ncfg.Trimming = opt.Trimming
+	case store.BackendDCTCP:
+		ncfg.Trimming = false
+		ncfg.ECNThreshold = 20
+	default:
+		ncfg.Trimming = false
+	}
 	ft, err := topology.NewFatTree(opt.FatTreeK, ncfg)
 	if err != nil {
 		panic(err)
 	}
-	sys := tcpsim.NewSystem(ft.Net, tcpsim.DCTCPConfig())
+	tr := newTrace(ft, topt, "incast", backend, seed)
 	ic := workload.GenerateIncast(workload.IncastConfig{Senders: senders, BytesPerSender: bytes, Seed: seed}, ft)
 	var last sim.Time
 	done := 0
-	for _, s := range ic.Senders {
-		sys.StartFlow(s, ic.Client, ic.Bytes, func(r tcpsim.FlowResult) {
-			if r.End > last {
-				last = r.End
-			}
-			done++
-		})
+	if backend == store.BackendPolyraptor {
+		sys := polyraptor.NewSystem(ft.Net, polyraptor.DefaultConfig(), seed)
+		for _, s := range ic.Senders {
+			sys.StartUnicast(s, ic.Client, ic.Bytes, func(ev polyraptor.CompletionEvent) {
+				if ev.End > last {
+					last = ev.End
+				}
+				done++
+			})
+		}
+		startTrace(tr, ft, func() float64 { send, recv := sys.OpenSessions(); return float64(send + recv) })
+		ft.Net.Eng.Run()
+		if done != senders {
+			panic(fmt.Sprintf("harness: incast RQ finished %d/%d sessions", done, senders))
+		}
+	} else {
+		var tcfg tcpsim.Config
+		name := "TCP"
+		if backend == store.BackendDCTCP {
+			tcfg, name = tcpsim.DCTCPConfig(), "DCTCP"
+		} else {
+			tcfg = tcpsim.DefaultConfig()
+		}
+		sys := tcpsim.NewSystem(ft.Net, tcfg)
+		for _, s := range ic.Senders {
+			sys.StartFlow(s, ic.Client, ic.Bytes, func(r tcpsim.FlowResult) {
+				if r.End > last {
+					last = r.End
+				}
+				done++
+			})
+		}
+		startTrace(tr, ft, func() float64 { return float64(sys.OpenFlows()) })
+		ft.Net.Eng.Run()
+		if done != senders {
+			panic(fmt.Sprintf("harness: incast %s finished %d/%d flows", name, done, senders))
+		}
 	}
-	ft.Net.Eng.Run()
-	if done != senders {
-		panic(fmt.Sprintf("harness: incast DCTCP finished %d/%d flows", done, senders))
-	}
-	return gbps(bytes*int64(senders), last)
+	finishTrace(tr, ft.Net.Now())
+	return gbps(bytes*int64(senders), last), tr
 }
 
 // Figure1c returns mean goodput with 95% CI error bars versus sender

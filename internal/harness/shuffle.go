@@ -9,6 +9,7 @@ import (
 	"polyraptor/internal/store"
 	"polyraptor/internal/sweep"
 	"polyraptor/internal/tcpsim"
+	"polyraptor/internal/telemetry"
 	"polyraptor/internal/topology"
 	"polyraptor/internal/workload"
 )
@@ -102,6 +103,14 @@ type ShuffleRun struct {
 // The workload draw (hosts, partition matrix, straggler) depends only
 // on the seed, so backends compare on identical matrices.
 func RunShuffle(opt ShuffleOptions, backend store.BackendKind, seed int64) ShuffleRun {
+	r, _ := RunShuffleTraced(opt, backend, seed, nil)
+	return r
+}
+
+// RunShuffleTraced is RunShuffle with an optional PolyScope trace
+// attached (nil topt reproduces RunShuffle exactly). The returned
+// trace is finished and ready for export; it is nil when topt is nil.
+func RunShuffleTraced(opt ShuffleOptions, backend store.BackendKind, seed int64, topt *TraceOptions) (ShuffleRun, *telemetry.Trace) {
 	if err := opt.Validate(); err != nil {
 		panic(fmt.Sprintf("harness: %v", err))
 	}
@@ -109,6 +118,7 @@ func RunShuffle(opt ShuffleOptions, backend store.BackendKind, seed int64) Shuff
 	if err != nil {
 		panic(err)
 	}
+	tr := newTrace(ft, topt, "shuffle", backend, seed)
 	sh := workload.GenerateShuffle(opt.workloadConfig(seed), ft)
 	pairs := opt.Mappers * opt.Reducers
 
@@ -125,6 +135,7 @@ func RunShuffle(opt ShuffleOptions, backend store.BackendKind, seed int64) Shuff
 			last = r.End
 			done = true
 		})
+		startTrace(tr, ft, func() float64 { send, recv := sys.OpenSessions(); return float64(send + recv) })
 		ft.Net.Eng.Run()
 		if !done {
 			// fcts is only filled by the aggregate callback, so report
@@ -150,11 +161,13 @@ func RunShuffle(opt ShuffleOptions, backend store.BackendKind, seed int64) Shuff
 				})
 			}
 		}
+		startTrace(tr, ft, func() float64 { return float64(sys.OpenFlows()) })
 		ft.Net.Eng.Run()
 		if len(fcts) != pairs {
 			panic(fmt.Sprintf("harness: shuffle %v finished %d/%d pairs", backend, len(fcts), pairs))
 		}
 	}
+	finishTrace(tr, ft.Net.Now())
 
 	total := sh.TotalBytes()
 	return ShuffleRun{
@@ -163,7 +176,7 @@ func RunShuffle(opt ShuffleOptions, backend store.BackendKind, seed int64) Shuff
 		PairFCT:        stats.Summarize(fcts),
 		GoodputGbps:    gbps(total, last),
 		TotalBytes:     total,
-	}
+	}, tr
 }
 
 // RunShuffleAll runs the same shuffle template once per backend on the

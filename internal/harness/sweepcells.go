@@ -8,6 +8,7 @@ import (
 	"polyraptor/internal/store"
 	"polyraptor/internal/sweep"
 	"polyraptor/internal/tcpsim"
+	"polyraptor/internal/telemetry"
 )
 
 // Sweep cells: every experiment the harness knows how to run —
@@ -47,6 +48,16 @@ type SweepParams struct {
 	// Chaos is the fault-injection template; its Fault.Seed is
 	// overridden per run.
 	Chaos ChaosOptions
+
+	// Trace, when non-nil, attaches a PolyScope flight recorder and
+	// timeline probes to every run of the scenarios that support
+	// tracing (TraceableScenarios); NewSweepCell rejects it up front on
+	// any other scenario. Tracing never changes run results.
+	Trace *TraceOptions
+	// TraceSink receives each traced run's finished trace. It is
+	// invoked from sweep worker goroutines — possibly concurrently —
+	// so implementations must be safe for concurrent use.
+	TraceSink func(scenario, backend string, seed int64, tr *telemetry.Trace)
 }
 
 // DefaultSweepParams returns test-sized scenario parameters (a k=4
@@ -88,6 +99,22 @@ func SweepScenarios() []string {
 	return []string{"fig1a", "fig1b", "incast", "shuffle", "storage", "chaos"}
 }
 
+// TraceableScenarios lists the sweep scenarios that support PolyScope
+// tracing (SweepParams.Trace). The figure scenarios run many hundreds
+// of overlapping sessions per cell and the storage cluster owns its
+// own reporting, so tracing there is rejected rather than silently
+// dropped.
+func TraceableScenarios() []string {
+	return []string{"incast", "shuffle", "chaos"}
+}
+
+// emitTrace hands a finished trace to the sink, if both exist.
+func (p SweepParams) emitTrace(scenario string, backend store.BackendKind, seed int64, tr *telemetry.Trace) {
+	if tr != nil && p.TraceSink != nil {
+		p.TraceSink(scenario, backend.String(), seed, tr)
+	}
+}
+
 // shuffleOptions builds the shuffle scenario options from the shared
 // sweep parameters (Bytes doubles as the mean partition size).
 func (p SweepParams) shuffleOptions() ShuffleOptions {
@@ -116,6 +143,16 @@ func (p SweepParams) scale(seed int64) Scale {
 // Unknown scenarios and unsupported combinations are errors, reported
 // before anything runs.
 func NewSweepCell(scenario string, backend store.BackendKind, p SweepParams) (sweep.Cell, error) {
+	if p.Trace != nil {
+		traceable := false
+		for _, s := range TraceableScenarios() {
+			traceable = traceable || s == scenario
+		}
+		if !traceable {
+			return sweep.Cell{}, fmt.Errorf("harness: scenario %q does not support tracing (traceable: %v)",
+				scenario, TraceableScenarios())
+		}
+	}
 	cell := sweep.Cell{Scenario: scenario, Backend: backend.String()}
 	switch scenario {
 	case "fig1a", "fig1b":
@@ -145,17 +182,13 @@ func NewSweepCell(scenario string, backend store.BackendKind, p SweepParams) (sw
 		}
 		opt := IncastOptions{FatTreeK: p.FatTreeK, Trimming: p.Trimming}
 		cell.Runner = sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
-			var g float64
 			switch backend {
-			case store.BackendPolyraptor:
-				g = RunIncastRQ(opt, p.Senders, p.Bytes, seed)
-			case store.BackendTCP:
-				g = RunIncastTCP(opt, p.Senders, p.Bytes, seed)
-			case store.BackendDCTCP:
-				g = RunIncastDCTCP(opt, p.Senders, p.Bytes, seed)
+			case store.BackendPolyraptor, store.BackendTCP, store.BackendDCTCP:
 			default:
 				return nil, fmt.Errorf("harness: incast does not support backend %v", backend)
 			}
+			g, tr := RunIncastTraced(opt, backend, p.Senders, p.Bytes, seed, p.Trace)
+			p.emitTrace("incast", backend, seed, tr)
 			return sweep.Metrics{"goodput_gbps": g}, nil
 		})
 	case "shuffle":
@@ -170,7 +203,9 @@ func NewSweepCell(scenario string, backend store.BackendKind, p SweepParams) (sw
 			"bytes":    strconv.FormatInt(p.Bytes, 10),
 		}
 		cell.Runner = sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
-			return shuffleMetrics(RunShuffle(opt, backend, seed)), nil
+			r, tr := RunShuffleTraced(opt, backend, seed, p.Trace)
+			p.emitTrace("shuffle", backend, seed, tr)
+			return shuffleMetrics(r), nil
 		})
 	case "chaos":
 		opt := p.Chaos
@@ -185,7 +220,9 @@ func NewSweepCell(scenario string, backend store.BackendKind, p SweepParams) (sw
 			"frac":    strconv.FormatFloat(opt.Fault.Frac, 'g', -1, 64),
 		}
 		cell.Runner = sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
-			return chaosMetrics(RunChaos(opt, backend, seed)), nil
+			r, tr := RunChaosTraced(opt, backend, seed, p.Trace)
+			p.emitTrace("chaos", backend, seed, tr)
+			return chaosMetrics(r), nil
 		})
 	case "storage":
 		cfg := p.Store

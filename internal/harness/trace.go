@@ -1,0 +1,72 @@
+package harness
+
+import (
+	"strconv"
+
+	"polyraptor/internal/sim"
+	"polyraptor/internal/store"
+	"polyraptor/internal/telemetry"
+	"polyraptor/internal/topology"
+)
+
+// TraceOptions is the harness-level switch for PolyScope tracing: a
+// nil *TraceOptions means tracing is fully off (the fabric's recorder
+// pointer stays nil and every instrumentation site reduces to one
+// branch); a non-nil value — the zero value is fine — attaches a
+// flight recorder and timeline probes to the run. Tracing draws no
+// randomness and never mutates protocol state, so a traced run's
+// results are bit-identical to the untraced run at the same seed.
+type TraceOptions struct {
+	// Interval is the probe sampling period (<= 0 selects
+	// telemetry.DefaultProbeInterval).
+	Interval sim.Time
+	// Capacity bounds the event ring (0 = unbounded); when exceeded the
+	// oldest events are overwritten, flight-recorder style.
+	Capacity int
+}
+
+// telemetryOptions maps the harness switch to the telemetry config.
+func (o *TraceOptions) telemetryOptions() telemetry.Options {
+	if o == nil {
+		return telemetry.Options{}
+	}
+	return telemetry.Options{Interval: o.Interval, Capacity: o.Capacity}
+}
+
+// newTrace builds a trace for one run, stamps its identifying
+// metadata, and attaches the flight recorder to the fabric. It must
+// run before faults are injected or flows started so those layers see
+// the recorder. Returns nil (tracing off) when topt is nil.
+func newTrace(ft *topology.FatTree, topt *TraceOptions, scenario string, backend store.BackendKind, seed int64) *telemetry.Trace {
+	if topt == nil {
+		return nil
+	}
+	tr := telemetry.New(topt.telemetryOptions())
+	tr.SetMeta("scenario", scenario)
+	tr.SetMeta("backend", backend.String())
+	tr.SetMeta("seed", strconv.FormatInt(seed, 10))
+	ft.Net.Rec = tr.Rec
+	return tr
+}
+
+// startTrace registers the fabric gauges plus the transport's
+// open-session gauge and begins probe sampling. Call after every flow
+// has been started (gauges must all exist before the first sample) and
+// before the engine runs.
+func startTrace(tr *telemetry.Trace, ft *topology.FatTree, openSessions func() float64) {
+	if tr == nil {
+		return
+	}
+	ft.Net.RegisterProbes(tr.Probe)
+	if openSessions != nil {
+		tr.Probe.Gauge("open-sessions", "count", openSessions)
+	}
+	tr.Start(ft.Net.Eng)
+}
+
+// finishTrace stamps the run's end time once the engine has stopped.
+func finishTrace(tr *telemetry.Trace, end sim.Time) {
+	if tr != nil {
+		tr.Finish(end)
+	}
+}

@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"polyraptor/internal/store"
+	"polyraptor/internal/sweep"
+	"polyraptor/internal/telemetry"
+)
+
+// TestTracedRunMatchesUntraced is the zero-cost guarantee at the
+// harness level: attaching the flight recorder draws no randomness and
+// perturbs no timing, so a traced run's metrics are bit-identical to
+// the untraced run's. This is what lets -trace be a pure observability
+// switch rather than a different experiment.
+func TestTracedRunMatchesUntraced(t *testing.T) {
+	o := testChaosOptions()
+	for _, be := range []store.BackendKind{store.BackendPolyraptor, store.BackendTCP} {
+		plain := RunChaos(o, be, 1)
+		traced, tr := RunChaosTraced(o, be, 1, &TraceOptions{})
+		if tr == nil {
+			t.Fatalf("%v: traced run returned no trace", be)
+		}
+		if plain != traced {
+			t.Fatalf("%v: tracing perturbed the run:\nplain  %+v\ntraced %+v", be, plain, traced)
+		}
+		if tr.Rec.Len() == 0 {
+			t.Fatalf("%v: trace recorded no events", be)
+		}
+	}
+}
+
+// TestTracedChaosAttributesBlackholeToDeadPath is the explain report's
+// regression test: under the PR 5 acceptance scenario (a quarter of
+// the core links blackholed mid-flow, hash-pinned TCP), every stranded
+// flow must be attributed to the dead path — blackholed packets, the
+// EvRouteDrop stream — and never to congestion, even though the same
+// run also records genuine queue drops on healthy flows.
+func TestTracedChaosAttributesBlackholeToDeadPath(t *testing.T) {
+	o := testChaosOptions()
+	run, tr := RunChaosTraced(o, store.BackendTCP, 1, &TraceOptions{})
+	if run.Stalled == 0 {
+		t.Fatal("no TCP flow stranded; the attribution scenario is vacuous")
+	}
+	diags := tr.Explain()
+	if len(diags) != run.Flows {
+		t.Fatalf("explain diagnosed %d flows, run had %d", len(diags), run.Flows)
+	}
+	stalled := 0
+	for _, d := range diags {
+		if !d.Stalled {
+			if d.Verdict != telemetry.VerdictCompleted {
+				t.Fatalf("flow %d completed but verdict is %q", d.Info.Flow, d.Verdict)
+			}
+			continue
+		}
+		stalled++
+		if d.Verdict != telemetry.VerdictDeadPath {
+			t.Fatalf("stalled flow %d verdict %q, want %q (route=%d link=%d queue=%d)",
+				d.Info.Flow, d.Verdict, telemetry.VerdictDeadPath,
+				d.RouteDrops, d.LinkDrops, d.QueueDrops)
+		}
+		if d.RouteDrops == 0 {
+			t.Fatalf("stalled flow %d has dead-path verdict but no blackholed packets", d.Info.Flow)
+		}
+		if d.TopDropSite == "" {
+			t.Fatalf("stalled flow %d has no worst drop site", d.Info.Flow)
+		}
+	}
+	if stalled != run.Stalled {
+		t.Fatalf("explain found %d stalled flows, run counted %d", stalled, run.Stalled)
+	}
+	var report bytes.Buffer
+	if err := tr.WriteExplain(&report); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(report.Bytes(), []byte("dead-path")) {
+		t.Fatalf("explain report never says dead-path:\n%s", report.String())
+	}
+}
+
+// renderTrace serialises every trace export into one byte string, so
+// determinism checks cover the Chrome JSON, both CSVs and the explain
+// report at once.
+func renderTrace(t *testing.T, tr *telemetry.Trace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, write := range []func(w *bytes.Buffer) error{
+		func(w *bytes.Buffer) error { return tr.WriteChrome(w) },
+		func(w *bytes.Buffer) error { return tr.WriteCSV(w) },
+		func(w *bytes.Buffer) error { return tr.WriteEventsCSV(w) },
+		func(w *bytes.Buffer) error { return tr.WriteExplain(w) },
+	} {
+		if err := write(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestTraceDeterministicAcrossSweepParallelism: the same seed must
+// yield a byte-identical trace no matter how many sweep workers run
+// concurrently — traces are per-run artifacts fed by per-run
+// recorders, so worker interleaving may not leak into them.
+func TestTraceDeterministicAcrossSweepParallelism(t *testing.T) {
+	collect := func(parallelism int) map[string][]byte {
+		p := tinySweepParams()
+		p.Trace = &TraceOptions{}
+		var mu sync.Mutex
+		out := map[string][]byte{}
+		p.TraceSink = func(scenario, backend string, seed int64, tr *telemetry.Trace) {
+			rendered := renderTrace(t, tr)
+			mu.Lock()
+			out[fmt.Sprintf("%s/%s/%d", scenario, backend, seed)] = rendered
+			mu.Unlock()
+		}
+		var cells []sweep.Cell
+		for _, scenario := range []string{"chaos", "shuffle"} {
+			for _, be := range []store.BackendKind{store.BackendPolyraptor, store.BackendTCP} {
+				cell, err := NewSweepCell(scenario, be, p)
+				if err != nil {
+					t.Fatalf("NewSweepCell(%s, %v): %v", scenario, be, err)
+				}
+				cells = append(cells, cell)
+			}
+		}
+		if _, err := (sweep.Matrix{Cells: cells, Seeds: 2, BaseSeed: 1, Parallelism: parallelism}).Run(); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := collect(1)
+	parallel := collect(0)
+	if len(serial) != 8 || len(parallel) != 8 {
+		t.Fatalf("expected 8 traces per pass, got %d serial / %d parallel", len(serial), len(parallel))
+	}
+	for key, want := range serial {
+		got, ok := parallel[key]
+		if !ok {
+			t.Fatalf("parallel pass missing trace %s", key)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("trace %s differs between parallelism 1 and GOMAXPROCS", key)
+		}
+	}
+}
+
+// TestSweepRejectsUntraceableScenario: asking for traces on a scenario
+// that cannot deliver them is a cell-construction error, not a silent
+// no-op.
+func TestSweepRejectsUntraceableScenario(t *testing.T) {
+	p := tinySweepParams()
+	p.Trace = &TraceOptions{}
+	if _, err := NewSweepCell("fig1a", store.BackendPolyraptor, p); err == nil {
+		t.Fatal("fig1a cell accepted a trace request it cannot honour")
+	}
+	p.Trace = nil
+	if _, err := NewSweepCell("fig1a", store.BackendPolyraptor, p); err != nil {
+		t.Fatalf("untraced fig1a cell rejected: %v", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"polyraptor/internal/sim"
+	"polyraptor/internal/telemetry"
 )
 
 // Node receives packets delivered by a link.
@@ -62,8 +63,13 @@ type Network struct {
 	Cfg      Config
 	Hosts    []*Host
 	Switches []*Switch
-	rng      *rand.Rand
-	lossRNG  *rand.Rand
+	// Rec is the PolyScope flight recorder; nil (the default) disables
+	// tracing. Every layer above — transports, chaos, the harness —
+	// reads it from here, so attaching a recorder to the network is
+	// the single switch that turns instrumentation on.
+	Rec     *telemetry.Recorder
+	rng     *rand.Rand
+	lossRNG *rand.Rand
 }
 
 // New creates an empty network with the given configuration.
@@ -254,15 +260,36 @@ func (p *Port) QueueStats() QueueStats {
 	return st
 }
 
+// Label names the port for diagnostics and traces: the owning
+// switch's name plus the port index ("core-2:3"), or "host-N" for a
+// NIC. Built on demand — only traced paths pay for it.
+func (p *Port) Label() string {
+	switch o := p.owner.(type) {
+	case *Switch:
+		return fmt.Sprintf("%s:%d", o.Name, p.index)
+	case *Host:
+		return fmt.Sprintf("host-%d", o.ID)
+	default:
+		return fmt.Sprintf("port-%d", p.index)
+	}
+}
+
 // Send enqueues a packet for transmission. A down link drops it
 // immediately (the interface is dead), counted in Lost.
 func (p *Port) Send(pkt *Packet) {
 	if !p.up {
 		p.Lost++
+		if p.net.Rec != nil {
+			p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvLinkDrop, -1, p.Label())
+		}
 		return
 	}
 	if !p.queue.Enqueue(pkt) {
-		return // dropped; counted by the queue
+		// Dropped; counted by the queue.
+		if p.net.Rec != nil {
+			p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvQueueDrop, -1, p.Label())
+		}
+		return
 	}
 	p.kick()
 }
@@ -291,6 +318,9 @@ func (p *Port) kick() {
 			// is a no-op while it is still down (recovery re-kicks).
 			p.cut = false
 			p.Lost++
+			if p.net.Rec != nil {
+				p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvLinkDrop, -1, p.Label())
+			}
 			p.kick()
 			return
 		}
@@ -298,6 +328,9 @@ func (p *Port) kick() {
 		p.TxBytes += int64(pkt.Size)
 		if p.lossRate > 0 && p.net.lossRNG.Float64() < p.lossRate {
 			p.Lost++ // corrupted on a lossy link
+			if p.net.Rec != nil {
+				p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvLinkDrop, -1, p.Label())
+			}
 		} else {
 			p.net.Eng.After(p.delay, func() { p.peer.Receive(pkt) })
 		}
@@ -379,6 +412,9 @@ func (s *Switch) liveCands(cands []int) []int {
 func (s *Switch) Receive(pkt *Packet) {
 	if s.down {
 		s.RouteDrops++
+		if s.net.Rec != nil {
+			s.net.Rec.RecordLabel(s.net.Eng.Now(), pkt.Flow, telemetry.EvRouteDrop, -1, s.Name)
+		}
 		return
 	}
 	if pkt.Group >= 0 {
@@ -398,6 +434,9 @@ func (s *Switch) Receive(pkt *Packet) {
 	cands := s.liveCands(s.Route(pkt))
 	if len(cands) == 0 {
 		s.RouteDrops++
+		if s.net.Rec != nil {
+			s.net.Rec.RecordLabel(s.net.Eng.Now(), pkt.Flow, telemetry.EvRouteDrop, -1, s.Name)
+		}
 		return
 	}
 	var out int
@@ -456,3 +495,33 @@ func (h *Host) Send(pkt *Packet) {
 
 // Now returns the network's current simulated time.
 func (n *Network) Now() sim.Time { return n.Eng.Now() }
+
+// RegisterProbes registers timeline gauges for the whole fabric on a
+// PolyScope probe: per switch port, instantaneous queue depth, the
+// cumulative transmitted bytes (exporters turn deltas into link
+// utilization) and cumulative drops (queue + link); per switch, the
+// route-drop (blackhole) counter; per host NIC, the same trio. All
+// gauges only read counters the simulation maintains anyway, so
+// probing never perturbs protocol behaviour.
+func (n *Network) RegisterProbes(p *telemetry.Probe) {
+	port := func(pt *Port) {
+		name := pt.Label()
+		p.Gauge("q "+name, "pkt", func() float64 { return float64(pt.QueueLen()) })
+		p.Gauge("tx "+name, "bytes-cum", func() float64 { return float64(pt.TxBytes) })
+		p.Gauge("drops "+name, "pkt-cum", func() float64 {
+			return float64(pt.queue.Stats().Dropped + pt.Lost)
+		})
+	}
+	for _, s := range n.Switches {
+		sw := s
+		p.Gauge("routedrops "+sw.Name, "pkt-cum", func() float64 { return float64(sw.RouteDrops) })
+		for _, pt := range sw.Ports {
+			port(pt)
+		}
+	}
+	for _, h := range n.Hosts {
+		if h.NIC != nil {
+			port(h.NIC)
+		}
+	}
+}

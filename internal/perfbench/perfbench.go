@@ -13,6 +13,8 @@ import (
 	"runtime"
 	"sort"
 	"time"
+
+	"polyraptor/internal/gf256"
 )
 
 // Schema identifies the report format.
@@ -40,14 +42,24 @@ type Result struct {
 
 // Report is the full suite output.
 type Report struct {
-	Schema    string   `json:"schema"`
-	Index     int      `json:"index"`
-	GoVersion string   `json:"go"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	NumCPU    int      `json:"num_cpu"`
-	Quick     bool     `json:"quick"`
-	Results   []Result `json:"results"`
+	Schema    string `json:"schema"`
+	Index     int    `json:"index"`
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GOMAXPROCS is the scheduler width the suite ran under; the
+	// benchmarks are single-goroutine but background GC work scales
+	// with it.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// CPUFeatures lists the accelerated kernel paths the gf256 package
+	// selected on this machine (empty = portable word-wise code), so
+	// reports from different hardware are never compared blind.
+	CPUFeatures []string `json:"cpu_features,omitempty"`
+	// WallSeconds is the wall-clock duration of the whole suite run.
+	WallSeconds float64  `json:"wall_seconds"`
+	Quick       bool     `json:"quick"`
+	Results     []Result `json:"results"`
 }
 
 // Case is one suite entry.
@@ -90,13 +102,16 @@ func (o Options) budget() time.Duration {
 // for the caller to assign).
 func Run(opts Options) Report {
 	rep := Report{
-		Schema:    Schema,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Quick:     opts.Quick,
+		Schema:      Schema,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		CPUFeatures: gf256.Features(),
+		Quick:       opts.Quick,
 	}
+	start := time.Now()
 	for _, c := range Suite(opts.Quick) {
 		res := runCase(c, opts.budget())
 		rep.Results = append(rep.Results, res)
@@ -105,6 +120,7 @@ func Run(opts Options) Report {
 				res.Name, res.NsPerOp, res.AllocsPerOp, rateSuffix(res))
 		}
 	}
+	rep.WallSeconds = time.Since(start).Seconds()
 	return rep
 }
 

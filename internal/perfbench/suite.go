@@ -11,6 +11,7 @@ import (
 	"polyraptor/internal/raptorq"
 	"polyraptor/internal/sim"
 	"polyraptor/internal/store"
+	"polyraptor/internal/telemetry"
 )
 
 // rowLen is the row length for the gf256 kernels: the 1436-byte
@@ -24,8 +25,45 @@ func Suite(quick bool) []Case {
 	cases = append(cases, gf256Cases()...)
 	cases = append(cases, codecCases(quick)...)
 	cases = append(cases, simCases()...)
+	cases = append(cases, telemetryCases()...)
 	cases = append(cases, e2eCases(quick)...)
 	return cases
+}
+
+// telemetryCases measures the PolyScope flight recorder: the enabled
+// hot path (arena append) and the disabled path, which must stay a
+// single nil-check branch — the guarantee that lets the recorder be
+// threaded through every sim hot path unconditionally.
+func telemetryCases() []Case {
+	enabled := Case{
+		Name:       "telemetry/Record/enabled",
+		RateName:   "events_per_sec",
+		UnitsPerOp: 1,
+	}
+	{
+		// A bounded ring, as the CLIs configure it: once warm, appends
+		// recycle arena blocks and allocate nothing.
+		rec := telemetry.NewRecorder(1 << 16)
+		enabled.Fn = func(n int) {
+			for i := 0; i < n; i++ {
+				rec.Record(sim.Time(i), int32(i&7), telemetry.EvSymbol, 3, int64(i))
+			}
+		}
+	}
+	disabled := Case{
+		Name:       "telemetry/Record/disabled",
+		RateName:   "events_per_sec",
+		UnitsPerOp: 1,
+	}
+	{
+		var rec *telemetry.Recorder // tracing off: nil receiver
+		disabled.Fn = func(n int) {
+			for i := 0; i < n; i++ {
+				rec.Record(sim.Time(i), int32(i&7), telemetry.EvSymbol, 3, int64(i))
+			}
+		}
+	}
+	return []Case{enabled, disabled}
 }
 
 func gf256Cases() []Case {

@@ -5,6 +5,7 @@ import (
 
 	"polyraptor/internal/netsim"
 	"polyraptor/internal/sim"
+	"polyraptor/internal/telemetry"
 )
 
 // doneRetryFallback paces completion-ctrl retransmission when the
@@ -70,6 +71,7 @@ func (rs *receiverSession) onData(pkt *netsim.Packet) {
 		// The payload was cut by a congested queue. Never re-request:
 		// just pull the next fresh symbol (rateless recovery).
 		rs.trims++
+		rs.sys.Net.Rec.Record(rs.lastArrival, rs.flow, telemetry.EvTrim, int32(rs.receiver), pkt.Seq)
 		rs.pullFrom(pkt)
 		return
 	}
@@ -77,12 +79,14 @@ func (rs *receiverSession) onData(pkt *netsim.Packet) {
 		if _, dup := rs.seen[pkt.Seq]; dup {
 			// Duplicate (possible only in the RandomESI ablation):
 			// wasted capacity, still pull replacement.
+			rs.sys.Net.Rec.Record(rs.lastArrival, rs.flow, telemetry.EvDup, int32(rs.receiver), pkt.Seq)
 			rs.pullFrom(pkt)
 			return
 		}
 		rs.seen[pkt.Seq] = struct{}{}
 	}
 	rs.distinct++
+	rs.sys.Net.Rec.Record(rs.lastArrival, rs.flow, telemetry.EvSymbol, int32(rs.receiver), pkt.Seq)
 	if rs.distinct >= rs.need {
 		rs.complete()
 		return
@@ -142,6 +146,7 @@ func (rs *receiverSession) armTimeout() {
 			// senders than the clamped burst, a fixed start would
 			// starve the senders past the window forever (fatal when
 			// the early senders are the unreachable ones).
+			rs.sys.Net.Rec.Record(now, rs.flow, telemetry.EvStall, int32(rs.receiver), int64(deficit))
 			start := rs.guardRR
 			for i := 0; i < deficit; i++ {
 				s := rs.senders[(start+i)%len(rs.senders)]
@@ -171,6 +176,7 @@ func (rs *receiverSession) complete() {
 	for _, s := range rs.senders {
 		rs.pendingDone[rs.sys.Agents[s].host.ID] = struct{}{}
 	}
+	rs.sys.Net.Rec.CloseFlow(end, rs.flow, int32(rs.receiver))
 	rs.sendDoneCtrl()
 	rs.armDoneRetry()
 	if rs.onDone != nil {
@@ -197,6 +203,7 @@ func (rs *receiverSession) sendDoneCtrl() {
 		if _, waiting := rs.pendingDone[dst]; !waiting {
 			continue
 		}
+		rs.sys.Net.Rec.Record(rs.sys.Net.Now(), rs.flow, telemetry.EvCtrl, int32(rs.receiver), int64(dst))
 		rs.sys.Agents[rs.receiver].host.Send(&netsim.Packet{
 			Flow:  rs.flow,
 			Kind:  netsim.KindCtrl,
@@ -238,6 +245,7 @@ func (rs *receiverSession) onDoneAck(from int32) {
 	if _, waiting := rs.pendingDone[from]; !waiting {
 		return // duplicate ack (our retransmit crossed their ack)
 	}
+	rs.sys.Net.Rec.Record(rs.sys.Net.Now(), rs.flow, telemetry.EvCtrlAck, int32(rs.receiver), int64(from))
 	delete(rs.pendingDone, from)
 	if len(rs.pendingDone) == 0 {
 		rs.doneRetry.Cancel()

@@ -6,6 +6,7 @@ import (
 
 	"polyraptor/internal/netsim"
 	"polyraptor/internal/sim"
+	"polyraptor/internal/telemetry"
 )
 
 // System attaches a Polyraptor agent to every host of a network and
@@ -98,6 +99,13 @@ func (s *System) StartMultiSource(senders []int, dst int, bytes int64, onDone fu
 	flow := s.allocFlow()
 	k := s.numSymbols(bytes)
 	n := len(senders)
+	if rec := s.Net.Rec; rec != nil {
+		src := int32(-1)
+		if n == 1 {
+			src = s.Agents[senders[0]].host.ID
+		}
+		rec.OpenFlow(s.Net.Now(), flow, "rq", src, s.Agents[dst].host.ID, bytes, 1)
+	}
 
 	recv := &receiverSession{
 		sys:      s,
@@ -158,6 +166,9 @@ func (s *System) StartMulticast(src int, receivers []int, group int32, bytes int
 	}
 	flow := s.allocFlow()
 	k := s.numSymbols(bytes)
+	if rec := s.Net.Rec; rec != nil {
+		rec.OpenFlow(s.Net.Now(), flow, "rq", s.Agents[src].host.ID, -1, bytes, len(receivers))
+	}
 
 	snd := &senderSession{
 		sys:        s,
@@ -401,6 +412,7 @@ func (a *Agent) drainPull() {
 		if sess, ok := a.recvSess[req.flow]; !ok || sess.done {
 			continue
 		}
+		a.sys.Net.Rec.Record(a.sys.Net.Now(), req.flow, telemetry.EvPull, a.host.ID, int64(req.dst))
 		a.host.Send(&netsim.Packet{
 			Flow:  req.flow,
 			Kind:  netsim.KindPull,

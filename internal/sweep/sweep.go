@@ -74,6 +74,13 @@ type Matrix struct {
 	BaseSeed int64
 	// Parallelism caps concurrent runs; <= 0 means GOMAXPROCS.
 	Parallelism int
+	// Progress, when non-nil, is invoked once per completed
+	// (cell, repetition) run with the count of finished runs, the
+	// total, and the run that just finished. Calls are serialised
+	// under a mutex but arrive in completion order, which depends on
+	// scheduling — route them to stderr or a log, never into the
+	// deterministic result stream.
+	Progress func(done, total int, cell Cell, seed int64)
 }
 
 // Aggregate is one metric reduced across repetitions.
@@ -200,11 +207,19 @@ func (m Matrix) Run() (*Result, error) {
 	// One pre-assigned slot per (cell, rep): workers never contend and
 	// aggregation order is independent of completion order.
 	outs := make([]runOut, len(m.Cells)*m.Seeds)
+	var progressMu sync.Mutex
+	finished := 0
 	ForEach(len(outs), m.Parallelism, func(i int) {
 		cell := m.Cells[i/m.Seeds]
 		seed := seeds[i%m.Seeds]
 		metrics, err := runCell(cell, seed)
 		outs[i] = runOut{metrics, err}
+		if m.Progress != nil {
+			progressMu.Lock()
+			finished++
+			m.Progress(finished, len(outs), cell, seed)
+			progressMu.Unlock()
+		}
 	})
 
 	res := &Result{BaseSeed: m.BaseSeed, Seeds: m.Seeds}

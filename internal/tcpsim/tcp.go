@@ -15,6 +15,7 @@ import (
 
 	"polyraptor/internal/netsim"
 	"polyraptor/internal/sim"
+	"polyraptor/internal/telemetry"
 )
 
 // Config holds TCP parameters.
@@ -109,11 +110,33 @@ func NewSystem(net *netsim.Network, cfg Config) *System {
 	return s
 }
 
+// proto names the configured stack for traces.
+func (s *System) proto() string {
+	if s.Cfg.DCTCP {
+		return "dctcp"
+	}
+	return "tcp"
+}
+
+// OpenFlows counts the live sender sessions across all agents — the
+// open-session gauge sampled by PolyScope timeline probes.
+func (s *System) OpenFlows() int {
+	n := 0
+	for _, a := range s.Agents {
+		n += len(a.senders)
+	}
+	return n
+}
+
 // StartFlow begins a TCP transfer of `bytes` from src to dst. onDone
 // fires at the sender when the final segment is cumulatively acked.
 func (s *System) StartFlow(src, dst int, bytes int64, onDone func(FlowResult)) int32 {
 	flow := s.nextFlow
 	s.nextFlow++
+	if rec := s.Net.Rec; rec != nil {
+		rec.OpenFlow(s.Net.Now(), flow, s.proto(),
+			s.Agents[src].host.ID, s.Agents[dst].host.ID, bytes, 1)
+	}
 	segs := (bytes + int64(s.Cfg.SegPayload) - 1) / int64(s.Cfg.SegPayload)
 	if segs < 1 {
 		segs = 1
@@ -192,8 +215,15 @@ func (r *tcpReceiver) onData(pkt *netsim.Packet) {
 			delete(r.ooo, r.expected)
 			r.expected++
 		}
+		r.agent.sys.Net.Rec.Record(r.agent.sys.Net.Now(), r.flow, telemetry.EvSymbol, r.agent.host.ID, seq)
 	case seq > r.expected:
+		if !r.ooo[seq] {
+			r.agent.sys.Net.Rec.Record(r.agent.sys.Net.Now(), r.flow, telemetry.EvSymbol, r.agent.host.ID, seq)
+		}
 		r.ooo[seq] = true
+	default:
+		// Below the cumulative point: a spurious retransmission.
+		r.agent.sys.Net.Rec.Record(r.agent.sys.Net.Now(), r.flow, telemetry.EvDup, r.agent.host.ID, seq)
 	}
 	// Exact per-packet CE echo: we acknowledge every segment, so the
 	// sender sees precisely which arrivals were marked (stronger than
@@ -267,6 +297,7 @@ func (s *tcpSender) transmit(seq int64, first bool) {
 	} else {
 		delete(s.sent, seq) // Karn: never time retransmitted segments
 		s.retransmits++
+		s.sys.Net.Rec.Record(s.sys.Net.Now(), s.flow, telemetry.EvRetransmit, s.sys.Agents[s.src].host.ID, seq)
 	}
 	s.sys.Agents[s.src].host.Send(&netsim.Packet{
 		Flow:       s.flow,
@@ -316,6 +347,12 @@ func (s *tcpSender) onRTO() {
 	s.nextSeq = s.highAck // go-back-N from the ack point
 	if s.backoff < s.sys.Cfg.MaxBackoff {
 		s.backoff++
+	}
+	if rec := s.sys.Net.Rec; rec != nil {
+		now := s.sys.Net.Now()
+		host := s.sys.Agents[s.src].host.ID
+		rec.Record(now, s.flow, telemetry.EvTimeout, host, int64(s.backoff))
+		rec.Record(now, s.flow, telemetry.EvCwnd, host, int64(s.cwnd*1000))
 	}
 	s.trySend()
 }
@@ -371,6 +408,8 @@ func (s *tcpSender) onAck(ack int64, ecnEcho bool) {
 				// Full recovery: deflate to ssthresh.
 				s.inRecovery = false
 				s.cwnd = s.ssthresh
+				s.sys.Net.Rec.Record(s.sys.Net.Now(), s.flow, telemetry.EvCwnd,
+					s.sys.Agents[s.src].host.ID, int64(s.cwnd*1000))
 			} else {
 				// Partial ack (NewReno): retransmit the next hole,
 				// deflate by the amount acked, allow one new segment.
@@ -399,6 +438,8 @@ func (s *tcpSender) onAck(ack int64, ecnEcho bool) {
 		s.cwnd = s.ssthresh + 3
 		s.inRecovery = true
 		s.recover = s.nextSeq
+		s.sys.Net.Rec.Record(s.sys.Net.Now(), s.flow, telemetry.EvCwnd,
+			s.sys.Agents[s.src].host.ID, int64(s.cwnd*1000))
 		s.transmit(s.highAck, false) // fast retransmit
 	}
 	s.trySend()
@@ -435,6 +476,7 @@ func (s *tcpSender) dctcpOnAck(newly int64, ecnEcho bool) {
 func (s *tcpSender) finish() {
 	s.done = true
 	s.disarmRTO()
+	s.sys.Net.Rec.CloseFlow(s.sys.Net.Now(), s.flow, s.sys.Agents[s.dst].host.ID)
 	delete(s.sys.Agents[s.src].senders, s.flow)
 	delete(s.sys.Agents[s.dst].receivers, s.flow)
 	if s.onDone != nil {

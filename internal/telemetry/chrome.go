@@ -1,0 +1,176 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"polyraptor/internal/sim"
+)
+
+// Chrome trace-event exporter. The output is the legacy JSON-array
+// trace format, loadable directly in Perfetto (ui.perfetto.dev) and
+// chrome://tracing: one process of per-flow lanes (a complete-event
+// span per session, instants for stalls/retransmits/timeouts/drops,
+// counter ramps for symbol and pull progress) and one process of
+// fabric counter tracks (queue depths, per-link throughput, drop and
+// session gauges sampled by the probe).
+//
+// Everything is emitted in a deterministic order — flows in open
+// order, events chronologically, series in registration order — so a
+// traced run's JSON is byte-stable per seed.
+
+const (
+	pidFlows  = 1
+	pidFabric = 2
+)
+
+// WriteChrome writes the trace as Chrome trace-event JSON.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"otherData\":{")
+	keys, vals := t.Meta()
+	for i, k := range keys {
+		if i > 0 {
+			bw.WriteByte(',')
+		}
+		fmt.Fprintf(bw, "%s:%s", jstr(k), jstr(vals[i]))
+	}
+	fmt.Fprintf(bw, "},\"traceEvents\":[\n")
+
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+
+	// Process/thread naming metadata.
+	emit(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"ts":0,"args":{"name":"flows"}}`, pidFlows)
+	emit(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"ts":0,"args":{"name":"fabric"}}`, pidFabric)
+	diags := t.Explain()
+	for _, d := range diags {
+		f := d.Info
+		dst := fmt.Sprintf("%d", f.Dst)
+		if f.Dst < 0 {
+			dst = fmt.Sprintf("%d rcvrs", f.Receivers)
+		}
+		emit(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"ts":0,"args":{"name":%s}}`,
+			pidFlows, f.Flow, jstr(fmt.Sprintf("flow %d %s %d->%s", f.Flow, f.Proto, f.Src, dst)))
+		emit(`{"name":"thread_sort_index","ph":"M","pid":%d,"tid":%d,"ts":0,"args":{"sort_index":%d}}`,
+			pidFlows, f.Flow, f.Flow)
+	}
+
+	// Session spans: one complete event per flow; stalled flows run to
+	// the end of the trace.
+	for _, d := range diags {
+		f := d.Info
+		end := f.End
+		if d.Stalled {
+			end = t.End
+		}
+		if end < f.Start {
+			end = f.Start
+		}
+		emit(`{"name":%s,"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"bytes":%d,"stalled":%v,"verdict":%s,"goodput_gbps":%.4f}}`,
+			jstr(f.Proto+" transfer"), pidFlows, f.Flow, usec(f.Start), usec(end-f.Start),
+			f.Bytes, d.Stalled, jstr(string(d.Verdict)), f.GoodputGbps())
+	}
+
+	// Chronological pass: instants and per-flow progress counters.
+	rx := map[int32]int{}
+	pulls := map[int32]int{}
+	t.Rec.Events(func(ev Event) {
+		switch ev.Kind {
+		case EvOpen, EvClose:
+		case EvSymbol, EvDup:
+			rx[ev.Flow]++
+			emit(`{"name":%s,"ph":"C","pid":%d,"ts":%s,"args":{"rx":%d}}`,
+				jstr(fmt.Sprintf("rx flow %d", ev.Flow)), pidFlows, usec(ev.At), rx[ev.Flow])
+		case EvPull:
+			pulls[ev.Flow]++
+			emit(`{"name":%s,"ph":"C","pid":%d,"ts":%s,"args":{"pulls":%d}}`,
+				jstr(fmt.Sprintf("pulls flow %d", ev.Flow)), pidFlows, usec(ev.At), pulls[ev.Flow])
+		case EvCwnd:
+			emit(`{"name":%s,"ph":"C","pid":%d,"ts":%s,"args":{"segs":%.3f}}`,
+				jstr(fmt.Sprintf("cwnd flow %d", ev.Flow)), pidFlows, usec(ev.At), float64(ev.Arg)/1000)
+		case EvFault:
+			emit(`{"name":%s,"ph":"i","s":"g","pid":%d,"tid":0,"ts":%s}`,
+				jstr("fault: "+t.Rec.LabelName(ev.Arg)), pidFabric, usec(ev.At))
+		case EvRouteDrop, EvLinkDrop, EvQueueDrop:
+			emit(`{"name":%s,"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"at":%s}}`,
+				jstr(ev.Kind.String()), pidFlows, ev.Flow, usec(ev.At), jstr(t.Rec.LabelName(ev.Arg)))
+		default:
+			emit(`{"name":%s,"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%s,"args":{"arg":%d}}`,
+				jstr(ev.Kind.String()), pidFlows, ev.Flow, usec(ev.At), ev.Arg)
+		}
+	})
+
+	// Fabric counter tracks from the probe. All-zero series are
+	// skipped; cumulative byte counters become rate tracks.
+	for _, s := range t.Probe.Series() {
+		if allZero(s.Vals) {
+			continue
+		}
+		switch s.Unit {
+		case "bytes-cum":
+			name := jstr("tx " + strings.TrimPrefix(s.Name, "tx ") + " Gbps")
+			for i := 1; i < len(s.Vals); i++ {
+				dt := (s.Times[i] - s.Times[i-1]).Seconds()
+				if dt <= 0 {
+					continue
+				}
+				gbps := (s.Vals[i] - s.Vals[i-1]) * 8 / dt / 1e9
+				emit(`{"name":%s,"ph":"C","pid":%d,"ts":%s,"args":{"gbps":%.4f}}`,
+					name, pidFabric, usec(s.Times[i]), gbps)
+			}
+		default:
+			name := jstr(s.Name)
+			for i := range s.Vals {
+				emit(`{"name":%s,"ph":"C","pid":%d,"ts":%s,"args":{%s:%g}}`,
+					name, pidFabric, usec(s.Times[i]), jstr(s.Unit), s.Vals[i])
+			}
+		}
+	}
+
+	bw.WriteString("\n]}\n")
+	return bw.Flush()
+}
+
+// usec renders a sim time as microseconds with nanosecond precision.
+func usec(t sim.Time) string {
+	return fmt.Sprintf("%d.%03d", int64(t)/1000, int64(t)%1000)
+}
+
+func allZero(xs []float64) bool {
+	for _, x := range xs {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// jstr renders a JSON string literal.
+func jstr(s string) string {
+	var b strings.Builder
+	b.Grow(len(s) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case c < 0x20:
+			fmt.Fprintf(&b, `\u%04x`, c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}

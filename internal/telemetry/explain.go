@@ -1,0 +1,199 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"polyraptor/internal/sim"
+)
+
+// Verdict classifies why a flow ended the run the way it did.
+type Verdict string
+
+// Verdicts, in the order the classifier checks them for a stalled
+// flow: a dead path explains a stall before congestion does, because
+// blackholed packets never had a chance to queue.
+const (
+	// VerdictCompleted: every receiver finished.
+	VerdictCompleted Verdict = "completed"
+	// VerdictDeadPath: the flow's packets were blackholed — routed
+	// into a killed switch or an empty live-candidate set.
+	VerdictDeadPath Verdict = "dead-path"
+	// VerdictLinkLoss: packets were destroyed on down or lossy links.
+	VerdictLinkLoss Verdict = "link-loss"
+	// VerdictCongestion: packets were dropped by full queues.
+	VerdictCongestion Verdict = "congestion"
+	// VerdictStarvation: the receiver asked (pulls/opens) but no data
+	// and no drops were ever seen — the sender never fed it.
+	VerdictStarvation Verdict = "sender-starvation"
+)
+
+// FlowDiagnosis is the per-flow summary behind the explain report:
+// event counts, drop attribution and the resulting verdict.
+type FlowDiagnosis struct {
+	Info    *FlowInfo
+	Stalled bool
+	Verdict Verdict
+
+	// Drop attribution, with the single worst blackhole/drop site.
+	RouteDrops, LinkDrops, QueueDrops int
+	TopDropSite                       string
+	TopDropCount                      int
+
+	// Protocol activity.
+	Pulls, Symbols, Dups, Trims int
+	Stalls, Ctrls, CtrlAcks     int
+	Retransmits, Timeouts       int
+	LastData                    sim.Time
+	hasData                     bool
+}
+
+// Explain scans the recorder once and diagnoses every flow, in open
+// order. End is the run's final sim time (Trace.Finish).
+func (t *Trace) Explain() []FlowDiagnosis {
+	flows := t.Rec.Flows()
+	idx := make(map[int32]*FlowDiagnosis, len(flows))
+	out := make([]FlowDiagnosis, len(flows))
+	for i, f := range flows {
+		out[i] = FlowDiagnosis{Info: f, Stalled: !f.Done()}
+		idx[f.Flow] = &out[i]
+	}
+	sites := make(map[int32]map[string]int)
+	t.Rec.Events(func(ev Event) {
+		d, ok := idx[ev.Flow]
+		if !ok {
+			return
+		}
+		switch ev.Kind {
+		case EvPull:
+			d.Pulls++
+		case EvSymbol:
+			d.Symbols++
+			d.LastData = ev.At
+			d.hasData = true
+		case EvDup:
+			d.Dups++
+			d.LastData = ev.At
+			d.hasData = true
+		case EvTrim:
+			d.Trims++
+		case EvStall:
+			d.Stalls++
+		case EvCtrl:
+			d.Ctrls++
+		case EvCtrlAck:
+			d.CtrlAcks++
+		case EvRetransmit:
+			d.Retransmits++
+		case EvTimeout:
+			d.Timeouts++
+		case EvRouteDrop, EvLinkDrop, EvQueueDrop:
+			switch ev.Kind {
+			case EvRouteDrop:
+				d.RouteDrops++
+			case EvLinkDrop:
+				d.LinkDrops++
+			default:
+				d.QueueDrops++
+			}
+			m := sites[ev.Flow]
+			if m == nil {
+				m = map[string]int{}
+				sites[ev.Flow] = m
+			}
+			m[t.Rec.LabelName(ev.Arg)]++
+		}
+	})
+	for i := range out {
+		d := &out[i]
+		if m := sites[d.Info.Flow]; len(m) > 0 {
+			names := make([]string, 0, len(m))
+			for s := range m {
+				names = append(names, s)
+			}
+			sort.Strings(names)
+			for _, s := range names {
+				if m[s] > d.TopDropCount {
+					d.TopDropSite, d.TopDropCount = s, m[s]
+				}
+			}
+		}
+		d.Verdict = verdict(d)
+	}
+	return out
+}
+
+func verdict(d *FlowDiagnosis) Verdict {
+	if !d.Stalled {
+		return VerdictCompleted
+	}
+	switch {
+	case d.RouteDrops > 0:
+		return VerdictDeadPath
+	case d.LinkDrops > 0:
+		return VerdictLinkLoss
+	case d.QueueDrops > 0:
+		return VerdictCongestion
+	default:
+		return VerdictStarvation
+	}
+}
+
+// WriteExplain renders the diagnosis as the text explain report.
+func (t *Trace) WriteExplain(w io.Writer) error {
+	diags := t.Explain()
+	keys, vals := t.Meta()
+	fmt.Fprintf(w, "== PolyScope explain ==\n")
+	for i, k := range keys {
+		fmt.Fprintf(w, "%s=%s ", k, vals[i])
+	}
+	if len(keys) > 0 {
+		fmt.Fprintln(w)
+	}
+	var stalled int
+	for _, d := range diags {
+		if d.Stalled {
+			stalled++
+		}
+	}
+	fmt.Fprintf(w, "%d flows, %d completed, %d stalled; %d events recorded",
+		len(diags), len(diags)-stalled, stalled, t.Rec.Len())
+	if dr := t.Rec.Dropped(); dr > 0 {
+		fmt.Fprintf(w, " (%d overwritten by the ring)", dr)
+	}
+	fmt.Fprintf(w, "; run end %v\n\n", t.End)
+	for _, d := range diags {
+		f := d.Info
+		dst := fmt.Sprintf("%d", f.Dst)
+		if f.Dst < 0 {
+			dst = fmt.Sprintf("%d receivers", f.Receivers)
+		}
+		fmt.Fprintf(w, "flow %d %s %d->%s %dB: ", f.Flow, f.Proto, f.Src, dst, f.Bytes)
+		if d.Stalled {
+			fmt.Fprintf(w, "STALLED (%d/%d receivers done)", f.Closed, f.Receivers)
+		} else {
+			fmt.Fprintf(w, "completed in %v, goodput %.3f Gbps", f.End-f.Start, f.GoodputGbps())
+		}
+		fmt.Fprintf(w, "\n  verdict: %s", d.Verdict)
+		switch d.Verdict {
+		case VerdictDeadPath:
+			fmt.Fprintf(w, " — %d packets blackholed, worst at %s (%d)", d.RouteDrops, d.TopDropSite, d.TopDropCount)
+		case VerdictLinkLoss:
+			fmt.Fprintf(w, " — %d packets lost on faulted links, worst at %s (%d)", d.LinkDrops, d.TopDropSite, d.TopDropCount)
+		case VerdictCongestion:
+			fmt.Fprintf(w, " — %d packets dropped by full queues, worst at %s (%d)", d.QueueDrops, d.TopDropSite, d.TopDropCount)
+		case VerdictStarvation:
+			fmt.Fprintf(w, " — %d pulls sent, no data ever arrived", d.Pulls)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  activity: %d pulls, %d symbols, %d dups, %d trims, %d stall-guard fires, %d retransmits, %d timeouts\n",
+			d.Pulls, d.Symbols, d.Dups, d.Trims, d.Stalls, d.Retransmits, d.Timeouts)
+		fmt.Fprintf(w, "  drops: route=%d link=%d queue=%d", d.RouteDrops, d.LinkDrops, d.QueueDrops)
+		if d.hasData {
+			fmt.Fprintf(w, "; last data arrival %v", d.LastData)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteCSV writes the probe's timeline series in long form —
+// series,unit,t_ns,value — one row per (series, tick), series in
+// registration order, all-zero series skipped. Cumulative counters
+// are exported raw; consumers diff adjacent rows for rates.
+func (t *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "series,unit,t_ns,value")
+	for _, s := range t.Probe.Series() {
+		if allZero(s.Vals) {
+			continue
+		}
+		for i, v := range s.Vals {
+			fmt.Fprintf(bw, "%s,%s,%d,%g\n", csvField(s.Name), s.Unit, int64(s.Times[i]), v)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteEventsCSV writes the raw event ring — t_ns,flow,kind,host,arg —
+// in chronological order. Label-carrying events resolve Arg to the
+// interned name.
+func (t *Trace) WriteEventsCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "t_ns,flow,kind,host,arg")
+	t.Rec.Events(func(ev Event) {
+		arg := fmt.Sprintf("%d", ev.Arg)
+		switch ev.Kind {
+		case EvFault, EvRouteDrop, EvLinkDrop, EvQueueDrop:
+			arg = csvField(t.Rec.LabelName(ev.Arg))
+		}
+		fmt.Fprintf(bw, "%d,%d,%s,%d,%s\n", int64(ev.At), ev.Flow, ev.Kind, ev.Host, arg)
+	})
+	return bw.Flush()
+}
+
+// csvField quotes a value if it contains CSV metacharacters.
+func csvField(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == ',' || c == '"' || c == '\n' {
+			var out []byte
+			out = append(out, '"')
+			for j := 0; j < len(s); j++ {
+				if s[j] == '"' {
+					out = append(out, '"')
+				}
+				out = append(out, s[j])
+			}
+			return string(append(out, '"'))
+		}
+	}
+	return s
+}

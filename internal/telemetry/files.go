@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteFiles writes the trace's full export set under the given base
+// path: <base>.trace.json (Chrome trace-event JSON, loadable in
+// Perfetto), <base>.series.csv (probe series, long form),
+// <base>.events.csv (the raw flight-recorder events) and
+// <base>.explain.txt (the per-flow diagnosis report). It returns the
+// written paths in that order; on error the already-written files are
+// left in place so a partial export is still inspectable.
+func (t *Trace) WriteFiles(base string) ([]string, error) {
+	exports := []struct {
+		suffix string
+		fn     func(io.Writer) error
+	}{
+		{".trace.json", t.WriteChrome},
+		{".series.csv", t.WriteCSV},
+		{".events.csv", t.WriteEventsCSV},
+		{".explain.txt", t.WriteExplain},
+	}
+	var paths []string
+	for _, e := range exports {
+		path := base + e.suffix
+		if err := writeFile(path, e.fn); err != nil {
+			return paths, fmt.Errorf("telemetry: %w", err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+// writeFile streams one export through a buffered writer, surfacing
+// the first error from create, export, flush or close.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := fn(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,327 @@
+// Package telemetry is PolyScope: a zero-cost-when-disabled flight
+// recorder and timeline-metrics layer for the simulation stack. It has
+// three pieces:
+//
+//   - a flow event Recorder — an append-only, arena-backed ring of
+//     typed events (session open/close, pull sent, symbol/dup arrival,
+//     stall-guard fire, completion-ctrl send/ack, TCP retransmit and
+//     timeout, cwnd change, chaos fault, per-packet drop attribution)
+//     keyed by flow ID and stamped with sim time;
+//   - timeline Probes — periodic sim-timeline sampling of gauges
+//     (per-port queue depth, cumulative bytes/drops, open sessions)
+//     into fixed-interval series;
+//   - exporters (chrome.go, export.go) — Chrome trace-event JSON
+//     viewable in Perfetto, CSV series, and a text "explain" report
+//     that attributes each stalled or slow flow to a blackholed path,
+//     link loss, queue congestion or sender starvation.
+//
+// The whole layer hangs off a nil-checked *Recorder pointer: every
+// instrumentation site is a method call whose receiver is nil when
+// tracing is disabled, so the disabled path is a single predictable
+// branch and simulation results (and BENCH e2e metrics) are
+// bit-identical with and without the package linked in.
+//
+// Determinism: the Recorder consumes no randomness and observes only
+// the single-threaded sim timeline, so a traced run's event stream —
+// and every export derived from it — is byte-identical for a given
+// seed, at any sweep parallelism.
+package telemetry
+
+import (
+	"fmt"
+
+	"polyraptor/internal/sim"
+)
+
+// EventKind is the type tag of a recorded event.
+type EventKind uint8
+
+// Event kinds. Arg's meaning depends on the kind; events that name a
+// fabric entity (drops, faults) carry a label ID in Arg, resolved via
+// Recorder.LabelName.
+const (
+	// EvOpen: session/flow opened. Recorded via OpenFlow.
+	EvOpen EventKind = iota
+	// EvClose: one receiver of the flow completed. Via CloseFlow.
+	EvClose
+	// EvPull: receiver sent a pull; Host = receiver, Arg = target host.
+	EvPull
+	// EvSymbol: novel data arrival (rateless symbol / TCP segment);
+	// Host = receiver, Arg = ESI or sequence number.
+	EvSymbol
+	// EvDup: duplicate data arrival.
+	EvDup
+	// EvTrim: trimmed header arrival (payload cut at a switch).
+	EvTrim
+	// EvStall: receiver stall guard fired; Arg = pulls re-primed.
+	EvStall
+	// EvCtrl: completion-control message sent; Arg = target host.
+	EvCtrl
+	// EvCtrlAck: completion-control ack received; Arg = acking host.
+	EvCtrlAck
+	// EvRetransmit: TCP retransmission; Arg = sequence number.
+	EvRetransmit
+	// EvTimeout: TCP RTO fired; Arg = backoff exponent.
+	EvTimeout
+	// EvCwnd: TCP congestion window changed on a loss/recovery event;
+	// Arg = cwnd in milli-segments.
+	EvCwnd
+	// EvFault: chaos fault action executed; Flow = -1, Arg = label ID
+	// of the target ("down link agg-0-1<->core-3").
+	EvFault
+	// EvRouteDrop: packet blackholed at a switch (killed switch or no
+	// live egress candidate); Arg = label ID of the switch.
+	EvRouteDrop
+	// EvLinkDrop: packet destroyed on a down or lossy link; Arg =
+	// label ID of the port.
+	EvLinkDrop
+	// EvQueueDrop: packet dropped by a full egress queue; Arg = label
+	// ID of the port.
+	EvQueueDrop
+
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	"open", "close", "pull", "symbol", "dup", "trim", "stall",
+	"ctrl", "ctrl-ack", "retransmit", "timeout", "cwnd",
+	"fault", "route-drop", "link-drop", "queue-drop",
+}
+
+// String returns the kind's short name.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Event is one recorded occurrence: 32 bytes, stored by value in arena
+// blocks so recording never allocates per event.
+type Event struct {
+	// At is the sim time of the event.
+	At sim.Time
+	// Arg is kind-specific (see the kind constants).
+	Arg int64
+	// Flow is the flow the event belongs to, or -1 for global events.
+	Flow int32
+	// Host is the host where the event happened, or -1.
+	Host int32
+	// Kind tags the event.
+	Kind EventKind
+}
+
+// blockSize is the arena granularity: events per block. A block is
+// 256 KB; capacities round up to whole blocks.
+const blockSize = 1 << 13
+
+// FlowInfo is the per-flow metadata the recorder keeps alongside the
+// event ring, registered at open and finalized at close so exporters
+// can label lanes and compute goodput without a second pass.
+type FlowInfo struct {
+	// Flow is the flow ID.
+	Flow int32
+	// Proto names the transport ("rq", "tcp", "dctcp").
+	Proto string
+	// Src is the (first) sending host; -1 when multi-source.
+	Src int32
+	// Dst is the receiving host; -1 when multicast (many receivers).
+	Dst int32
+	// Bytes is the transfer size per receiver.
+	Bytes int64
+	// Receivers is how many completions the flow needs (multicast
+	// groups complete once per member).
+	Receivers int
+	// Start is the open time; End the latest completion.
+	Start, End sim.Time
+	// Closed counts receivers that completed.
+	Closed int
+}
+
+// Done reports whether every receiver of the flow completed.
+func (f *FlowInfo) Done() bool { return f.Closed >= f.Receivers }
+
+// GoodputGbps is the flow's goodput over its lifetime, 0 until done.
+func (f *FlowInfo) GoodputGbps() float64 {
+	if !f.Done() || f.End <= f.Start {
+		return 0
+	}
+	return float64(f.Bytes*int64(f.Receivers)) * 8 / (f.End - f.Start).Seconds() / 1e9
+}
+
+// Recorder is the flight recorder: an arena-backed ring of events plus
+// the flow table and a label intern pool. All methods are safe on a
+// nil receiver and do nothing — a nil *Recorder IS the disabled state,
+// so instrumentation sites need no separate enabled flag.
+//
+// Storage is a chronological list of fixed-size arena blocks. With a
+// capacity set, the list becomes a ring: when full, the oldest block
+// is recycled (flight-recorder semantics — the most recent events
+// win) and Dropped counts what was overwritten.
+type Recorder struct {
+	blocks    [][]Event
+	maxBlocks int // 0 = unbounded
+	appended  uint64
+	dropped   uint64
+
+	labels   []string
+	labelIDs map[string]int64
+
+	flows     map[int32]*FlowInfo
+	flowOrder []int32
+}
+
+// NewRecorder returns a recorder holding at most capacity events
+// (rounded up to whole arena blocks); capacity <= 0 is unbounded.
+func NewRecorder(capacity int) *Recorder {
+	r := &Recorder{
+		labelIDs: map[string]int64{},
+		flows:    map[int32]*FlowInfo{},
+	}
+	if capacity > 0 {
+		r.maxBlocks = (capacity + blockSize - 1) / blockSize
+	}
+	return r
+}
+
+// Record appends an event. It is the hot-path entry: on a nil
+// receiver (tracing disabled) it is a single branch and no work.
+func (r *Recorder) Record(at sim.Time, flow int32, kind EventKind, host int32, arg int64) {
+	if r == nil {
+		return
+	}
+	r.append(Event{At: at, Arg: arg, Flow: flow, Host: host, Kind: kind})
+}
+
+// RecordLabel appends an event whose Arg names a fabric entity,
+// interning the label string.
+func (r *Recorder) RecordLabel(at sim.Time, flow int32, kind EventKind, host int32, label string) {
+	if r == nil {
+		return
+	}
+	r.append(Event{At: at, Arg: r.labelID(label), Flow: flow, Host: host, Kind: kind})
+}
+
+func (r *Recorder) append(ev Event) {
+	n := len(r.blocks)
+	if n == 0 || len(r.blocks[n-1]) == blockSize {
+		r.grow()
+		n = len(r.blocks)
+	}
+	r.blocks[n-1] = append(r.blocks[n-1], ev)
+	r.appended++
+}
+
+// grow adds a fresh block, or — at capacity — recycles the oldest
+// block to the tail, overwriting the ring's eldest events.
+func (r *Recorder) grow() {
+	if r.maxBlocks > 0 && len(r.blocks) == r.maxBlocks {
+		oldest := r.blocks[0]
+		r.dropped += uint64(len(oldest))
+		copy(r.blocks, r.blocks[1:])
+		r.blocks[len(r.blocks)-1] = oldest[:0]
+		return
+	}
+	r.blocks = append(r.blocks, make([]Event, 0, blockSize))
+}
+
+// Len returns the number of events currently held.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.appended - r.dropped)
+}
+
+// Dropped returns how many events the ring overwrote.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped
+}
+
+// Events calls fn for every held event in chronological order.
+func (r *Recorder) Events(fn func(Event)) {
+	if r == nil {
+		return
+	}
+	for _, b := range r.blocks {
+		for _, ev := range b {
+			fn(ev)
+		}
+	}
+}
+
+// labelID interns a label string and returns its stable ID.
+func (r *Recorder) labelID(s string) int64 {
+	if id, ok := r.labelIDs[s]; ok {
+		return id
+	}
+	id := int64(len(r.labels))
+	r.labels = append(r.labels, s)
+	r.labelIDs[s] = id
+	return id
+}
+
+// LabelName resolves a label ID recorded in an event's Arg.
+func (r *Recorder) LabelName(id int64) string {
+	if r == nil || id < 0 || id >= int64(len(r.labels)) {
+		return ""
+	}
+	return r.labels[id]
+}
+
+// OpenFlow registers a flow and records its EvOpen event. Receivers
+// is clamped to at least 1. Reopening a known flow is a no-op for the
+// table (multi-source sessions open once per the first sender).
+func (r *Recorder) OpenFlow(at sim.Time, flow int32, proto string, src, dst int32, bytes int64, receivers int) {
+	if r == nil {
+		return
+	}
+	if receivers < 1 {
+		receivers = 1
+	}
+	if _, ok := r.flows[flow]; !ok {
+		r.flows[flow] = &FlowInfo{
+			Flow: flow, Proto: proto, Src: src, Dst: dst,
+			Bytes: bytes, Receivers: receivers, Start: at,
+		}
+		r.flowOrder = append(r.flowOrder, flow)
+	}
+	r.append(Event{At: at, Arg: bytes, Flow: flow, Host: src, Kind: EvOpen})
+}
+
+// CloseFlow records one receiver's completion of the flow.
+func (r *Recorder) CloseFlow(at sim.Time, flow, host int32) {
+	if r == nil {
+		return
+	}
+	if f, ok := r.flows[flow]; ok {
+		f.Closed++
+		if at > f.End {
+			f.End = at
+		}
+	}
+	r.append(Event{At: at, Flow: flow, Host: host, Kind: EvClose})
+}
+
+// Flow returns the metadata of a flow, or nil.
+func (r *Recorder) Flow(flow int32) *FlowInfo {
+	if r == nil {
+		return nil
+	}
+	return r.flows[flow]
+}
+
+// Flows returns every registered flow in open order.
+func (r *Recorder) Flows() []*FlowInfo {
+	if r == nil {
+		return nil
+	}
+	out := make([]*FlowInfo, len(r.flowOrder))
+	for i, id := range r.flowOrder {
+		out[i] = r.flows[id]
+	}
+	return out
+}

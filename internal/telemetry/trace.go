@@ -1,0 +1,59 @@
+package telemetry
+
+import "polyraptor/internal/sim"
+
+// Options configures a Trace.
+type Options struct {
+	// Interval is the probe sampling period (<= 0 selects
+	// DefaultProbeInterval).
+	Interval sim.Time
+	// Capacity bounds the event ring (0 = unbounded). When the run
+	// outgrows it, the oldest events are overwritten — flight-recorder
+	// semantics.
+	Capacity int
+}
+
+// Trace bundles one run's recorder and probe with its identifying
+// metadata, and is what the exporters consume. One Trace per
+// simulation instance: runs never share one, which is what keeps
+// sweep traces deterministic at any parallelism.
+type Trace struct {
+	Rec   *Recorder
+	Probe *Probe
+
+	// End is the run's final sim time, stamped by Finish; exporters
+	// use it to close the lanes of flows that never completed.
+	End sim.Time
+
+	metaKeys []string
+	metaVals []string
+}
+
+// New builds an empty trace per the options.
+func New(o Options) *Trace {
+	return &Trace{Rec: NewRecorder(o.Capacity), Probe: NewProbe(o.Interval)}
+}
+
+// SetMeta attaches an identifying key/value (scenario, backend, seed).
+// Order of first insertion is preserved in exports.
+func (t *Trace) SetMeta(key, value string) {
+	for i, k := range t.metaKeys {
+		if k == key {
+			t.metaVals[i] = value
+			return
+		}
+	}
+	t.metaKeys = append(t.metaKeys, key)
+	t.metaVals = append(t.metaVals, value)
+}
+
+// Meta returns the metadata pairs in insertion order.
+func (t *Trace) Meta() (keys, vals []string) { return t.metaKeys, t.metaVals }
+
+// Start begins probe sampling on the engine. Call after all gauges
+// are registered and before the simulation runs.
+func (t *Trace) Start(eng *sim.Engine) { t.Probe.Start(eng) }
+
+// Finish stamps the run's end time. Call once the simulation has
+// stopped, before exporting.
+func (t *Trace) Finish(end sim.Time) { t.End = end }
