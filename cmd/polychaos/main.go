@@ -22,6 +22,7 @@
 //	polychaos -fault switch -layer core -frac 0.25   # kill a quarter of the core switches
 //	polychaos -fault loss -loss-rate 0.2             # lossy links instead of blackholes
 //	polychaos -fault flap -flap-period 10ms -recover-at 100ms
+//	polychaos -plan "link core 0.5 @2ms recover 50ms"         # same grammar as config files
 //	polychaos -pattern shuffle -mappers 6 -reducers 6
 //	polychaos -runs 5 -json > chaos.json             # 5 seeds per backend, aggregated
 //	polychaos -trace -trace-out chaos                # PolyScope trace per backend + explain report
@@ -60,6 +61,7 @@ func run(args []string, out, errw io.Writer) int {
 		reducers = fs.Int("reducers", def.Reducers, "shuffle: reducer count")
 		bytes    = fs.Int64("bytes", def.Bytes, "object bytes per flow/sender/receiver/pair")
 
+		plan      = fs.String("plan", "", "compact fault spec, e.g. \"link core 0.25 @2ms recover 50ms\"; overrides the individual fault flags (a \"seed n\" clause overrides -seed)")
 		fault     = fs.String("fault", def.Fault.Kind.String(), "fault kind: link (blackhole), switch (kill), loss, flap")
 		layer     = fs.String("layer", def.Fault.Layer.String(), "fabric tier: core, agg, host")
 		frac      = fs.Float64("frac", def.Fault.Frac, "fraction of the tier's links/switches to strike")
@@ -118,6 +120,18 @@ func run(args []string, out, errw io.Writer) int {
 			LossRate:   *lossRate,
 		},
 		Deadline: *deadline,
+	}
+	if *plan != "" {
+		p, err := chaos.ParsePlan(*plan)
+		if err != nil {
+			fmt.Fprintf(errw, "polychaos: %v\n", err)
+			return 2
+		}
+		if p.Seed != 0 {
+			*seed = p.Seed
+		}
+		p.Seed = 0 // the harness injects the per-run seed
+		opt.Fault = p
 	}
 	if err := opt.Validate(); err != nil {
 		fmt.Fprintf(errw, "polychaos: %v\n", err)

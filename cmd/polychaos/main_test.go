@@ -96,6 +96,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-deadline", "1ms"}, // deadline before the default 2 ms fault
 		{"-runs", "0"},
 		{"-csv", "-json"},
+		{"-plan", "meteor core 0.5"},
+		{"-plan", "link core 0.5 rate 0.1"}, // rate is loss-only
+		{"-plan", "link core 0.5 @10ms recover 1ms"},
 	} {
 		var out, errw bytes.Buffer
 		if code := run(args, &out, &errw); code != 2 {
@@ -154,6 +157,26 @@ func TestRunMultiSeed(t *testing.T) {
 		if !strings.Contains(table.String(), want) {
 			t.Fatalf("aggregate table missing %q:\n%s", want, table.String())
 		}
+	}
+}
+
+// TestRunPlanFlag: -plan parses the compact grammar and overrides the
+// individual fault flags — the spec below must produce the same run as
+// the equivalent -fault/-frac/-recover-at invocation.
+func TestRunPlanFlag(t *testing.T) {
+	var specOut, flagOut, errw bytes.Buffer
+	args := []string{"-k", "4", "-flows", "6", "-bytes", "262144", "-deadline", "1s", "-backend", "rq"}
+	code := run(append(args, "-plan", "link core 0.5 @500us recover 50ms"), &specOut, &errw)
+	if code != 0 {
+		t.Fatalf("run(-plan) exited %d: %s", code, errw.String())
+	}
+	code = run(append(args, "-fault", "link", "-layer", "core", "-frac", "0.5",
+		"-fail-at", "500us", "-recover-at", "50ms"), &flagOut, &errw)
+	if code != 0 {
+		t.Fatalf("run(flags) exited %d: %s", code, errw.String())
+	}
+	if specOut.String() != flagOut.String() {
+		t.Fatalf("-plan and flag spellings diverge:\n%s\nvs\n%s", specOut.String(), flagOut.String())
 	}
 }
 

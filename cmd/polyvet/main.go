@@ -1,0 +1,103 @@
+// Command polyvet runs the repo's custom determinism/RNG/hot-path
+// analyzer suite (internal/polyvet). It drives in two modes:
+//
+//	polyvet [-analyzers a,b] [packages]   standalone, via `go list`
+//	go vet -vettool=$(which polyvet) ./...  unitchecker protocol
+//
+// Standalone mode defaults to ./... in the current module. Exit
+// status: 0 clean, 2 findings, 1 internal error (matching go vet's
+// conventions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"polyraptor/internal/polyvet"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet handshakes before sending any cfg; answer them first.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			polyvet.PrintVersion(os.Stdout, "polyvet")
+			return 0
+		case a == "-flags" || a == "--flags":
+			polyvet.PrintFlagDefs(os.Stdout)
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("polyvet", flag.ContinueOnError)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: polyvet [-analyzers names] [package patterns]\n")
+		fmt.Fprintf(fs.Output(), "       go vet -vettool=$(which polyvet) ./...\n\nanalyzers:\n")
+		for _, a := range polyvet.Suite() {
+			fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	names := fs.String("analyzers", "", "comma-separated subset of the suite (default: all)")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 1
+	}
+	var sel []string
+	if *names != "" {
+		sel = strings.Split(*names, ",")
+	}
+	analyzers, err := polyvet.ByName(sel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && polyvet.IsVetCfg(rest[0]) {
+		diags, err := polyvet.RunUnit(rest[0], analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		return report(diags)
+	}
+
+	patterns := rest
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := polyvet.Load("", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	var all []polyvet.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := polyvet.RunPackage(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		all = append(all, diags...)
+	}
+	return report(all)
+}
+
+func report(diags []polyvet.Diagnostic) int {
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	return 2
+}

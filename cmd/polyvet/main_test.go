@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunHandshakes(t *testing.T) {
+	if got := run([]string{"-V=full"}); got != 0 {
+		t.Errorf("-V=full exit = %d, want 0", got)
+	}
+	if got := run([]string{"-flags"}); got != 0 {
+		t.Errorf("-flags exit = %d, want 0", got)
+	}
+}
+
+func TestRunUnknownAnalyzer(t *testing.T) {
+	if got := run([]string{"-analyzers", "nosuch", "./..."}); got != 1 {
+		t.Errorf("unknown analyzer exit = %d, want 1", got)
+	}
+}
+
+// Standalone mode over this command's own package: a main package is
+// not sim-visible and carries no annotations, so the suite is clean.
+func TestRunStandalone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes go list")
+	}
+	if got := run([]string{"."}); got != 0 {
+		t.Errorf("standalone run exit = %d, want 0", got)
+	}
+}

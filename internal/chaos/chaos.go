@@ -158,7 +158,7 @@ func (p Plan) Validate() error {
 	if p.Layer < LayerCore || p.Layer > LayerHost {
 		return fmt.Errorf("chaos: unknown layer %d", p.Layer)
 	}
-	if p.Frac < 0 || p.Frac > 1 {
+	if !(p.Frac >= 0 && p.Frac <= 1) { // negated so NaN is rejected too
 		return fmt.Errorf("chaos: frac must be in [0, 1], got %g", p.Frac)
 	}
 	if p.FailAt < 0 {
@@ -169,7 +169,7 @@ func (p Plan) Validate() error {
 	}
 	switch p.Kind {
 	case KindLinkLoss:
-		if p.LossRate <= 0 || p.LossRate > 1 {
+		if !(p.LossRate > 0 && p.LossRate <= 1) { // negated so NaN is rejected too
 			return fmt.Errorf("chaos: loss fault needs loss rate in (0, 1], got %g", p.LossRate)
 		}
 	case KindLinkFlap:

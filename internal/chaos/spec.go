@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"polyraptor/internal/sim"
+)
+
+// ParsePlan parses the compact textual fault grammar used by CLI
+// flags and experiment configs:
+//
+//	<kind> <layer> <frac> [@<fail-at>] [recover <dur>] [rate <p>]
+//	                      [period <dur>] [seed <n>]
+//
+// For example, "link core 0.25 @10ms recover 50ms" blackholes a
+// quarter of the agg<->core links at t=10ms and restores them at
+// t=50ms; "flap agg 0.5 @1ms recover 20ms period 2ms" flaps half the
+// edge<->agg links. Durations use Go syntax ("10ms", "1.5s"); fail-at
+// defaults to 0 and recover to never. "rate" applies only to loss
+// plans and "period" only to flap plans. The parsed plan is validated
+// before being returned, and ParsePlan(p.Spec()) == p for every plan
+// this returns.
+func ParsePlan(spec string) (Plan, error) {
+	fields := strings.Fields(spec)
+	if len(fields) < 3 {
+		return Plan{}, fmt.Errorf("chaos: plan %q: want \"<kind> <layer> <frac> [clauses]\"", spec)
+	}
+	var p Plan
+	kind, ok := ParseKind(fields[0])
+	if !ok {
+		return Plan{}, fmt.Errorf("chaos: plan %q: unknown kind %q (want link, switch, loss or flap)", spec, fields[0])
+	}
+	p.Kind = kind
+	layer, ok := ParseLayer(fields[1])
+	if !ok {
+		return Plan{}, fmt.Errorf("chaos: plan %q: unknown layer %q (want core, agg or host)", spec, fields[1])
+	}
+	p.Layer = layer
+	frac, err := strconv.ParseFloat(fields[2], 64)
+	if err != nil {
+		return Plan{}, fmt.Errorf("chaos: plan %q: bad fraction %q: %v", spec, fields[2], err)
+	}
+	p.Frac = frac
+
+	for i := 3; i < len(fields); {
+		f := fields[i]
+		if rest, ok := strings.CutPrefix(f, "@"); ok {
+			d, err := time.ParseDuration(rest)
+			if err != nil {
+				return Plan{}, fmt.Errorf("chaos: plan %q: bad fail-at %q: %v", spec, f, err)
+			}
+			p.FailAt = sim.Time(d)
+			i++
+			continue
+		}
+		if i+1 >= len(fields) {
+			return Plan{}, fmt.Errorf("chaos: plan %q: clause %q needs a value", spec, f)
+		}
+		v := fields[i+1]
+		switch f {
+		case "recover":
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return Plan{}, fmt.Errorf("chaos: plan %q: bad recover time %q: %v", spec, v, err)
+			}
+			p.RecoverAt = sim.Time(d)
+		case "rate":
+			if p.Kind != KindLinkLoss {
+				return Plan{}, fmt.Errorf("chaos: plan %q: rate applies only to loss plans", spec)
+			}
+			r, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("chaos: plan %q: bad loss rate %q: %v", spec, v, err)
+			}
+			p.LossRate = r
+		case "period":
+			if p.Kind != KindLinkFlap {
+				return Plan{}, fmt.Errorf("chaos: plan %q: period applies only to flap plans", spec)
+			}
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return Plan{}, fmt.Errorf("chaos: plan %q: bad flap period %q: %v", spec, v, err)
+			}
+			p.FlapPeriod = d
+		case "seed":
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("chaos: plan %q: bad seed %q: %v", spec, v, err)
+			}
+			p.Seed = n
+		default:
+			return Plan{}, fmt.Errorf("chaos: plan %q: unknown clause %q", spec, f)
+		}
+		i += 2
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// Spec renders the plan in the canonical form ParsePlan accepts;
+// ParsePlan(p.Spec()) reproduces p exactly for any valid plan.
+func (p Plan) Spec() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s %s", p.Kind, p.Layer, formatFloat(p.Frac))
+	if p.FailAt != 0 {
+		fmt.Fprintf(&b, " @%s", time.Duration(p.FailAt))
+	}
+	if p.RecoverAt != 0 {
+		fmt.Fprintf(&b, " recover %s", time.Duration(p.RecoverAt))
+	}
+	if p.Kind == KindLinkLoss {
+		fmt.Fprintf(&b, " rate %s", formatFloat(p.LossRate))
+	}
+	if p.Kind == KindLinkFlap {
+		fmt.Fprintf(&b, " period %s", p.FlapPeriod)
+	}
+	if p.Seed != 0 {
+		fmt.Fprintf(&b, " seed %d", p.Seed)
+	}
+	return b.String()
+}
+
+// formatFloat renders f with the shortest representation that parses
+// back to exactly the same value.
+func formatFloat(f float64) string {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return "0" // unreachable for validated plans; keep Spec total
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"polyraptor/internal/sim"
+)
+
+func TestParsePlan(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Plan
+	}{
+		{"link core 0.25 @10ms recover 50ms", Plan{
+			Kind: KindLinkDown, Layer: LayerCore, Frac: 0.25,
+			FailAt: 10 * time.Millisecond, RecoverAt: 50 * time.Millisecond,
+		}},
+		{"switch agg 0.5", Plan{Kind: KindSwitchKill, Layer: LayerAgg, Frac: 0.5}},
+		{"loss host 1 rate 0.01 seed 7", Plan{
+			Kind: KindLinkLoss, Layer: LayerHost, Frac: 1, LossRate: 0.01, Seed: 7,
+		}},
+		{"flap core 0.125 @1ms recover 20ms period 2ms", Plan{
+			Kind: KindLinkFlap, Layer: LayerCore, Frac: 0.125,
+			FailAt: time.Millisecond, RecoverAt: 20 * time.Millisecond,
+			FlapPeriod: 2 * time.Millisecond,
+		}},
+	}
+	for _, c := range cases {
+		got, err := ParsePlan(c.spec)
+		if err != nil {
+			t.Errorf("ParsePlan(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParsePlan(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+		back, err := ParsePlan(got.Spec())
+		if err != nil || back != got {
+			t.Errorf("round trip of %q via %q: got %+v, err %v", c.spec, got.Spec(), back, err)
+		}
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"link core",
+		"quake core 0.5",
+		"link basement 0.5",
+		"link core lots",
+		"link core 1.5",
+		"link core NaN",
+		"link core 0.5 @banana",
+		"link core 0.5 recover",
+		"link core 0.5 sideways 3",
+		"link core 0.5 rate 0.1",     // rate is loss-only
+		"switch core 0.5 period 2ms", // period is flap-only
+		"loss core 0.5 rate 0",
+		"loss core 0.5 rate NaN",
+		"loss core 0.5",                        // loss needs a rate
+		"flap core 0.5 @1ms recover 5ms",       // flap needs a period
+		"flap core 0.5 period 1ns recover 5ms", // period under MinFlapPeriod
+		"flap core 0.5 period 2ms",             // flap must end
+		"link core 0.5 @10ms recover 5ms",      // recover before fail
+		"link core 0.5 @-10ms recover 5ms",     // negative fail-at
+		"link core 0.5 seed twelve",
+	}
+	for _, spec := range bad {
+		if p, err := ParsePlan(spec); err == nil {
+			t.Errorf("ParsePlan(%q) = %+v, want error", spec, p)
+		}
+	}
+}
+
+// FuzzPlanParse: the parser must never panic, and every plan it
+// accepts must validate and survive a Spec round trip unchanged.
+func FuzzPlanParse(f *testing.F) {
+	f.Add("link core 0.25 @10ms recover 50ms")
+	f.Add("switch agg 0.5 seed -3")
+	f.Add("loss host 1 rate 0.01")
+	f.Add("flap core 0.125 @1ms recover 20ms period 2ms")
+	f.Add("link core 1.5")
+	f.Add("loss core 0.5 rate NaN")
+	f.Add("@@@ recover recover")
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := ParsePlan(spec)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("ParsePlan(%q) returned invalid plan %+v: %v", spec, p, verr)
+		}
+		canon := p.Spec()
+		back, err := ParsePlan(canon)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q) accepted, but canonical %q rejected: %v", spec, canon, err)
+		}
+		if back != p {
+			t.Fatalf("round trip via %q: %+v != %+v", canon, back, p)
+		}
+	})
+}
+
+var _ = sim.Time(0) // keep the sim import tied to the Plan field types

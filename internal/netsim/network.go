@@ -136,6 +136,14 @@ func (n *Network) Connect(a, b Node) (pa, pb *Port) {
 			p.peerSwitch = sw
 		}
 		p.index = owner.addPort(p)
+		switch o := owner.(type) {
+		case *Switch:
+			p.label = fmt.Sprintf("%s:%d", o.Name, p.index)
+		case *Host:
+			p.label = fmt.Sprintf("host-%d", o.ID)
+		default:
+			p.label = fmt.Sprintf("port-%d", p.index)
+		}
 		return p
 	}
 	return mk(a, b), mk(b, a)
@@ -179,6 +187,7 @@ type Port struct {
 	peer       Node
 	peerSwitch *Switch // peer when it is a switch (avoids a hot-path type assert)
 	index      int
+	label      string // precomputed Label(), so drop hooks stay allocation-free
 	rate       int64
 	delay      sim.Time
 	queue      Queue
@@ -262,33 +271,21 @@ func (p *Port) QueueStats() QueueStats {
 
 // Label names the port for diagnostics and traces: the owning
 // switch's name plus the port index ("core-2:3"), or "host-N" for a
-// NIC. Built on demand — only traced paths pay for it.
-func (p *Port) Label() string {
-	switch o := p.owner.(type) {
-	case *Switch:
-		return fmt.Sprintf("%s:%d", o.Name, p.index)
-	case *Host:
-		return fmt.Sprintf("host-%d", o.ID)
-	default:
-		return fmt.Sprintf("port-%d", p.index)
-	}
-}
+// NIC. Precomputed at wiring time so the drop hooks can pass it
+// without formatting on the hot path.
+func (p *Port) Label() string { return p.label }
 
 // Send enqueues a packet for transmission. A down link drops it
 // immediately (the interface is dead), counted in Lost.
 func (p *Port) Send(pkt *Packet) {
 	if !p.up {
 		p.Lost++
-		if p.net.Rec != nil {
-			p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvLinkDrop, -1, p.Label())
-		}
+		p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvLinkDrop, -1, p.label)
 		return
 	}
 	if !p.queue.Enqueue(pkt) {
 		// Dropped; counted by the queue.
-		if p.net.Rec != nil {
-			p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvQueueDrop, -1, p.Label())
-		}
+		p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvQueueDrop, -1, p.label)
 		return
 	}
 	p.kick()
@@ -318,9 +315,7 @@ func (p *Port) kick() {
 			// is a no-op while it is still down (recovery re-kicks).
 			p.cut = false
 			p.Lost++
-			if p.net.Rec != nil {
-				p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvLinkDrop, -1, p.Label())
-			}
+			p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvLinkDrop, -1, p.label)
 			p.kick()
 			return
 		}
@@ -328,9 +323,7 @@ func (p *Port) kick() {
 		p.TxBytes += int64(pkt.Size)
 		if p.lossRate > 0 && p.net.lossRNG.Float64() < p.lossRate {
 			p.Lost++ // corrupted on a lossy link
-			if p.net.Rec != nil {
-				p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvLinkDrop, -1, p.Label())
-			}
+			p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvLinkDrop, -1, p.label)
 		} else {
 			p.net.Eng.After(p.delay, func() { p.peer.Receive(pkt) })
 		}
@@ -412,9 +405,7 @@ func (s *Switch) liveCands(cands []int) []int {
 func (s *Switch) Receive(pkt *Packet) {
 	if s.down {
 		s.RouteDrops++
-		if s.net.Rec != nil {
-			s.net.Rec.RecordLabel(s.net.Eng.Now(), pkt.Flow, telemetry.EvRouteDrop, -1, s.Name)
-		}
+		s.net.Rec.RecordLabel(s.net.Eng.Now(), pkt.Flow, telemetry.EvRouteDrop, -1, s.Name)
 		return
 	}
 	if pkt.Group >= 0 {
@@ -434,9 +425,7 @@ func (s *Switch) Receive(pkt *Packet) {
 	cands := s.liveCands(s.Route(pkt))
 	if len(cands) == 0 {
 		s.RouteDrops++
-		if s.net.Rec != nil {
-			s.net.Rec.RecordLabel(s.net.Eng.Now(), pkt.Flow, telemetry.EvRouteDrop, -1, s.Name)
-		}
+		s.net.Rec.RecordLabel(s.net.Eng.Now(), pkt.Flow, telemetry.EvRouteDrop, -1, s.Name)
 		return
 	}
 	var out int

@@ -70,13 +70,6 @@ func replay(t *testing.T, object []byte, symSize int, esis []int64, limit int) b
 	return bytes.Equal(joined[:len(object)], object)
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
 func TestRealCodecDecodesSimulatedUnicastDelivery(t *testing.T) {
 	st := topology.NewStar(2, netsim.DefaultConfig())
 	cfg := DefaultConfig()

@@ -1,7 +1,9 @@
 package polyraptor
 
 import (
+	"maps"
 	"math/rand"
+	"slices"
 
 	"polyraptor/internal/netsim"
 )
@@ -137,12 +139,8 @@ func (ss *senderSession) pump() {
 	for {
 		minP, maxP := int(^uint(0)>>1), 0
 		for _, c := range ss.pulls {
-			if c < minP {
-				minP = c
-			}
-			if c > maxP {
-				maxP = c
-			}
+			minP = min(minP, c)
+			maxP = max(maxP, c)
 		}
 		if len(ss.pulls) == 0 {
 			return
@@ -187,12 +185,8 @@ func (ss *senderSession) armGraceCheck() {
 		}
 		minP, maxP := int(^uint(0)>>1), 0
 		for _, c := range ss.pulls {
-			if c < minP {
-				minP = c
-			}
-			if c > maxP {
-				maxP = c
-			}
+			minP = min(minP, c)
+			maxP = max(maxP, c)
 		}
 		if maxP-minP <= ss.sys.Cfg.StragglerThreshold {
 			return
@@ -203,7 +197,12 @@ func (ss *senderSession) armGraceCheck() {
 		if float64(ss.emitted-ss.emittedAtArm) >= expected/2 {
 			return // group is healthy; deficit is historical
 		}
-		for r, c := range ss.pulls {
+		// Detach in receiver-ID order: each detachment draws sequential
+		// ESIs via emit, so when several receivers tie at minP the
+		// emission order — and therefore which ESI serves which tail —
+		// must not depend on map iteration order.
+		for _, r := range slices.Sorted(maps.Keys(ss.pulls)) {
+			c := ss.pulls[r]
 			if c == minP {
 				ss.detached[r] = &detachedTail{}
 				delete(ss.pulls, r)

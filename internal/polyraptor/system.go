@@ -99,13 +99,11 @@ func (s *System) StartMultiSource(senders []int, dst int, bytes int64, onDone fu
 	flow := s.allocFlow()
 	k := s.numSymbols(bytes)
 	n := len(senders)
-	if rec := s.Net.Rec; rec != nil {
-		src := int32(-1)
-		if n == 1 {
-			src = s.Agents[senders[0]].host.ID
-		}
-		rec.OpenFlow(s.Net.Now(), flow, "rq", src, s.Agents[dst].host.ID, bytes, 1)
+	src := int32(-1)
+	if n == 1 {
+		src = s.Agents[senders[0]].host.ID
 	}
+	s.Net.Rec.OpenFlow(s.Net.Now(), flow, "rq", src, s.Agents[dst].host.ID, bytes, 1)
 
 	recv := &receiverSession{
 		sys:      s,
@@ -166,9 +164,7 @@ func (s *System) StartMulticast(src int, receivers []int, group int32, bytes int
 	}
 	flow := s.allocFlow()
 	k := s.numSymbols(bytes)
-	if rec := s.Net.Rec; rec != nil {
-		rec.OpenFlow(s.Net.Now(), flow, "rq", s.Agents[src].host.ID, -1, bytes, len(receivers))
-	}
+	s.Net.Rec.OpenFlow(s.Net.Now(), flow, "rq", s.Agents[src].host.ID, -1, bytes, len(receivers))
 
 	snd := &senderSession{
 		sys:        s,

@@ -1,0 +1,176 @@
+package polyvet
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A directive is one parsed //polyvet: comment. Three forms exist:
+//
+//	//polyvet:orderfree <reason>   — suppresses a detmap finding on the
+//	                                 next (or same) line
+//	//polyvet:allow <analyzer> <reason> — suppresses that analyzer's
+//	                                 finding on the next (or same) line
+//	//polyvet:noalloc <reason>     — marks the following function for
+//	                                 the hotpath allocation check
+//
+// A reason is mandatory: an escape hatch with no justification is a
+// finding of its own. Suppressions must be adjacent (same line or the
+// line directly above) to the code they excuse, and a suppression
+// that matches no finding is reported as stale — annotations cannot
+// outlive the code they excused.
+type directive struct {
+	pos  token.Position
+	verb string // "orderfree", "allow", "noalloc"
+	// arg is the analyzer name for "allow", empty otherwise.
+	arg    string
+	reason string
+	used   bool
+}
+
+// Directives holds one package's parsed //polyvet: comments plus the
+// malformed ones (reported as diagnostics by RunPackage via unused).
+type Directives struct {
+	byFile    map[string][]*directive
+	malformed []Diagnostic
+}
+
+const directivePrefix = "//polyvet:"
+
+func parseDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{byFile: map[string][]*directive{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				d.add(fset.Position(c.Slash), strings.TrimPrefix(c.Text, directivePrefix))
+			}
+		}
+	}
+	return d
+}
+
+func (d *Directives) add(pos token.Position, text string) {
+	fields := strings.Fields(text)
+	if len(fields) == 0 {
+		d.malformed = append(d.malformed, Diagnostic{
+			Pos: pos, Analyzer: "polyvet",
+			Message: "empty //polyvet: directive",
+		})
+		return
+	}
+	dir := &directive{pos: pos, verb: fields[0]}
+	rest := fields[1:]
+	switch dir.verb {
+	case "orderfree", "noalloc":
+	case "allow":
+		if len(rest) == 0 {
+			d.malformed = append(d.malformed, Diagnostic{
+				Pos: pos, Analyzer: "polyvet",
+				Message: "//polyvet:allow needs an analyzer name and a reason",
+			})
+			return
+		}
+		dir.arg, rest = rest[0], rest[1:]
+		known := false
+		for _, a := range Suite() {
+			known = known || a.Name == dir.arg
+		}
+		if !known {
+			d.malformed = append(d.malformed, Diagnostic{
+				Pos: pos, Analyzer: "polyvet",
+				Message: "//polyvet:allow names unknown analyzer " + dir.arg,
+			})
+			return
+		}
+	default:
+		d.malformed = append(d.malformed, Diagnostic{
+			Pos: pos, Analyzer: "polyvet",
+			Message: "unknown //polyvet:" + dir.verb + " directive (want orderfree, allow or noalloc)",
+		})
+		return
+	}
+	dir.reason = strings.Join(rest, " ")
+	if dir.reason == "" {
+		d.malformed = append(d.malformed, Diagnostic{
+			Pos: pos, Analyzer: "polyvet",
+			Message: "//polyvet:" + dir.verb + " needs a reason",
+		})
+		return
+	}
+	d.byFile[pos.Filename] = append(d.byFile[pos.Filename], dir)
+}
+
+// suppress reports whether an adjacent directive excuses d, marking
+// the directive used.
+func (ds *Directives) suppress(d Diagnostic) bool {
+	for _, dir := range ds.byFile[d.Pos.Filename] {
+		if dir.pos.Line != d.Pos.Line && dir.pos.Line != d.Pos.Line-1 {
+			continue
+		}
+		if (dir.verb == "orderfree" && d.Analyzer == DetMap.Name) ||
+			(dir.verb == "allow" && dir.arg == d.Analyzer) {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// noallocFor reports whether fn carries a //polyvet:noalloc directive,
+// either inside its doc comment or on the line directly above its
+// declaration, marking the directive used.
+func (ds *Directives) noallocFor(fset *token.FileSet, fn *ast.FuncDecl) bool {
+	pos := fset.Position(fn.Pos())
+	for _, dir := range ds.byFile[pos.Filename] {
+		if dir.verb != "noalloc" {
+			continue
+		}
+		if dir.pos.Line == pos.Line-1 ||
+			(fn.Doc != nil && dir.pos.Offset >= fset.Position(fn.Doc.Pos()).Offset &&
+				dir.pos.Offset < fset.Position(fn.Doc.End()).Offset) {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// unused returns diagnostics for malformed directives and for
+// suppressions that matched nothing this run. Only directives owned
+// by an analyzer in the run are checked, so running a subset of the
+// suite never flags another analyzer's annotations.
+func (ds *Directives) unused(analyzers []*Analyzer) []Diagnostic {
+	inRun := map[string]bool{}
+	for _, a := range analyzers {
+		inRun[a.Name] = true
+	}
+	out := append([]Diagnostic(nil), ds.malformed...)
+	for _, dirs := range ds.byFile {
+		for _, dir := range dirs {
+			if dir.used {
+				continue
+			}
+			owner := ""
+			switch dir.verb {
+			case "orderfree":
+				owner = DetMap.Name
+			case "noalloc":
+				owner = HotPath.Name
+			case "allow":
+				owner = dir.arg
+			}
+			if !inRun[owner] {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Pos: dir.pos, Analyzer: "polyvet",
+				Message: "stale //polyvet:" + dir.verb + " directive: no " + owner + " finding here — remove it",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package polyvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// A fixture harness in the style of
+// golang.org/x/tools/go/analysis/analysistest: fixture packages live
+// under testdata/src/<path>/, and each line that should produce a
+// finding carries a trailing `// want "regexp"` comment (several
+// regexps for several findings). RunFixture loads the package, runs
+// the analyzers, and reports every mismatch in either direction.
+//
+// Fixture imports resolve within testdata/src first (so a fixture can
+// model the telemetry package, or split across packages), then fall
+// back to the source importer for the standard library — everything
+// offline.
+
+// wantRe matches one `// want "..."` trailing comment; multiple
+// quoted regexps may follow a single want.
+var wantRe = regexp.MustCompile(`//\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+var wantArgRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// TB is the subset of testing.TB the harness needs, kept as an
+// interface so fixture.go itself stays out of test binaries' way.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// RunFixture loads testdata/src/<pkgpath> relative to the caller's
+// package directory, runs the analyzers over it, and checks the
+// diagnostics against the fixture's want comments.
+func RunFixture(t TB, pkgpath string, analyzers ...*Analyzer) {
+	t.Helper()
+	base := filepath.Join("testdata", "src")
+	pkg, err := loadFixture(base, pkgpath)
+	if err != nil {
+		t.Fatalf("polyvet fixture %s: %v", pkgpath, err)
+	}
+	diags, err := RunPackage(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("polyvet fixture %s: %v", pkgpath, err)
+	}
+	checkWants(t, pkg, diags)
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+func checkWants(t TB, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	wants := map[wantKey][]string{} // unmatched want regexps
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				key := wantKey{pos.Filename, pos.Line}
+				for _, q := range wantArgRe.FindAllStringSubmatch(m[1], -1) {
+					unq := strings.ReplaceAll(strings.ReplaceAll(q[1], `\"`, `"`), `\\`, `\`)
+					wants[key] = append(wants[key], unq)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		key := wantKey{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for i, re := range wants[key] {
+			ok, err := regexp.MatchString(re, d.Message)
+			if err != nil {
+				t.Errorf("%s: bad want regexp %q: %v", d.Pos, re, err)
+			}
+			if ok {
+				wants[key] = append(wants[key][:i], wants[key][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	var keys []wantKey
+	for k, res := range wants {
+		if len(res) > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, re := range wants[k] {
+			t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, re)
+		}
+	}
+}
+
+// loadFixture type-checks the fixture package rooted at base/pkgpath.
+func loadFixture(base, pkgpath string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := &fixtureImporter{
+		base:   base,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		loaded: map[string]*Package{},
+	}
+	return imp.load(pkgpath)
+}
+
+type fixtureImporter struct {
+	base   string
+	fset   *token.FileSet
+	std    types.Importer
+	loaded map[string]*Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(fi.base, path); isDir(dir) {
+		pkg, err := fi.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Pkg, nil
+	}
+	return fi.std.Import(path)
+}
+
+func (fi *fixtureImporter) load(pkgpath string) (*Package, error) {
+	if pkg, ok := fi.loaded[pkgpath]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(fi.base, pkgpath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fi.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: fi, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(pkgpath, fi.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", pkgpath, err)
+	}
+	pkg := &Package{Fset: fi.fset, Files: files, Pkg: tpkg, Info: info}
+	fi.loaded[pkgpath] = pkg
+	return pkg, nil
+}
+
+func isDir(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && st.IsDir()
+}

@@ -1,0 +1,232 @@
+package polyvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath checks functions annotated //polyvet:noalloc for obvious
+// allocation sources. The annotation marks the kernels whose
+// benchmarked contracts say 0 allocs/op — the gf256 row kernels, the
+// sim event heap, the encoder fast paths, the telemetry record hook —
+// and the analyzer keeps refactors from quietly reintroducing an
+// allocation the benchmarks would only catch after the fact.
+//
+// Flagged inside a noalloc function: fmt.* calls, string
+// concatenation, capturing closures, interface boxing of non-pointer
+// values (implicit conversions at call sites, assignments and
+// returns), map/slice composite literals, make/new, string<->[]byte
+// conversions, and spawning goroutines. Calls to other functions are
+// NOT followed (no interprocedural analysis): annotate the callee too
+// if it is on the same path. append is deliberately allowed — the
+// noalloc kernels append into caller-provided buffers, which is
+// amortized-zero and exactly the idiom the contract blesses.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "check //polyvet:noalloc-annotated functions for obvious allocation sources",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !pass.Directives.noallocFor(pass.Fset, fd) {
+				continue
+			}
+			checkNoAlloc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkNoAlloc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	name := fd.Name.Name
+	report := func(pos token.Pos, what string) {
+		pass.Reportf(pos, "%s in noalloc function %s", what, name)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			report(n.Pos(), "goroutine spawn")
+		case *ast.CallExpr:
+			checkNoAllocCall(pass, n, report)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info, n) {
+				report(n.Pos(), "string concatenation")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info, n.Lhs[0]) {
+				report(n.Pos(), "string concatenation")
+			}
+			for i, rhs := range n.Rhs {
+				if len(n.Lhs) == len(n.Rhs) {
+					checkBoxing(pass, n.Lhs[i], rhs, report)
+				}
+			}
+		case *ast.CompositeLit:
+			switch info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				report(n.Pos(), "map literal")
+			case *types.Slice:
+				report(n.Pos(), "slice literal")
+			}
+		case *ast.FuncLit:
+			if captures(info, n) {
+				report(n.Pos(), "capturing closure")
+			}
+		}
+		return true
+	})
+}
+
+func checkNoAllocCall(pass *Pass, call *ast.CallExpr, report func(token.Pos, string)) {
+	info := pass.TypesInfo
+	if fn := funcFor(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		report(call.Pos(), "fmt."+fn.Name()+" call (formats and allocates)")
+		return
+	}
+	if fun, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if obj := info.Uses[fun]; obj != nil && obj == types.Universe.Lookup(fun.Name) {
+			switch fun.Name {
+			case "make":
+				report(call.Pos(), "make")
+				return
+			case "new":
+				report(call.Pos(), "new")
+				return
+			}
+		}
+	}
+	// Conversions: string<->[]byte/[]rune copy and allocate. The
+	// callee may be a named type ident or a composite type expression
+	// ([]byte(s)), so detect via the type checker, not the syntax.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := info.Types[call].Type, info.Types[call.Args[0]].Type
+		if to != nil && from != nil && stringBytesConv(to, from) {
+			report(call.Pos(), "string/[]byte conversion")
+		}
+		return
+	}
+	// Interface boxing at call arguments: passing a concrete
+	// non-pointer value where the parameter is an interface heap-boxes
+	// it (pointers and interfaces themselves are stored directly).
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			last := params.At(params.Len() - 1).Type()
+			if call.Ellipsis.IsValid() {
+				param = last
+			} else if s, ok := last.(*types.Slice); ok {
+				param = s.Elem()
+			}
+		case i < params.Len():
+			param = params.At(i).Type()
+		}
+		if boxes(info, arg, param) {
+			report(arg.Pos(), "interface boxing of argument")
+		}
+	}
+}
+
+// checkBoxing flags assignments that box a concrete non-pointer value
+// into an interface-typed location.
+func checkBoxing(pass *Pass, lhs, rhs ast.Expr, report func(token.Pos, string)) {
+	ltv, ok := pass.TypesInfo.Types[lhs]
+	if !ok {
+		return
+	}
+	if boxes(pass.TypesInfo, rhs, ltv.Type) {
+		report(rhs.Pos(), "interface boxing in assignment")
+	}
+}
+
+func boxes(info *types.Info, val ast.Expr, dst types.Type) bool {
+	if dst == nil {
+		return false
+	}
+	if _, isIface := dst.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	tv, ok := info.Types[val]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Interface, *types.Pointer:
+		return false // stored directly, no heap box
+	}
+	return true
+}
+
+func stringBytesConv(to, from types.Type) bool {
+	str := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	byteSlice := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		b, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+			b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+	}
+	return (str(to) && byteSlice(from)) || (byteSlice(to) && str(from))
+}
+
+// captures reports whether a func literal references any variable
+// declared outside itself (other than package-level ones): such
+// closures carry a context and allocate when they escape.
+func captures(info *types.Info, lit *ast.FuncLit) bool {
+	inside := map[types.Object]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				inside[obj] = true
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || inside[obj] || obj.IsField() {
+			return true
+		}
+		if obj.Parent() != nil && obj.Parent().Parent() == types.Universe {
+			return true // package-level variable: no capture context
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
+func isStringType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

@@ -1,0 +1,136 @@
+package polyvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RNGStream enforces the RNG-stream discipline that keeps parallel
+// sweeps byte-identical at any worker count:
+//
+//  1. Inside sim-visible packages, *rand.Rand values are constructed
+//     only through the blessed deriver sim.RNG(seed, stream), which
+//     mixes a SplitMix64-style golden-ratio multiply with a
+//     stream-label hash so independent components never share state
+//     and seed/seed+1 runs are decorrelated. Direct rand.New /
+//     rand.NewSource calls bypass the derivation (and invite the
+//     correlated-seed bug sweep.SubSeed exists to prevent).
+//  2. No package-level variable may hold RNG state (*rand.Rand or
+//     rand.Source): a global generator is reachable from every sweep
+//     worker goroutine at once, which is both a data race and an
+//     iteration-order dependency between cells.
+//
+// The deriver itself (function RNG in package sim) is exempt; so is
+// anything annotated //polyvet:allow rngstream <reason>.
+var RNGStream = &Analyzer{
+	Name: "rngstream",
+	Doc:  "require *rand.Rand construction via the seeded deriver sim.RNG and forbid package-level RNG state",
+	Run:  runRNGStream,
+}
+
+func runRNGStream(pass *Pass) error {
+	if !simVisible(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			switch decl := decl.(type) {
+			case *ast.GenDecl:
+				checkGlobalRNGState(pass, decl)
+			case *ast.FuncDecl:
+				if blessedDeriver(pass, decl) {
+					continue
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					fn := funcFor(pass.TypesInfo, call)
+					for _, path := range []string{"math/rand", "math/rand/v2"} {
+						if isPkgFunc(fn, path, "New") || isPkgFunc(fn, path, "NewSource") ||
+							isPkgFunc(fn, path, "NewPCG") || isPkgFunc(fn, path, "NewChaCha8") {
+							pass.Reportf(call.Pos(),
+								"direct rand.%s in sim package %q: construct RNG streams via sim.RNG(seed, \"stream-name\") so every stream is seed-derived, named and unshared",
+								fn.Name(), pass.Pkg.Name())
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+// blessedDeriver reports whether decl is the deriver itself: func RNG
+// in package sim, the one place allowed to touch rand.NewSource.
+func blessedDeriver(pass *Pass, decl *ast.FuncDecl) bool {
+	return pass.Pkg.Name() == "sim" && decl.Recv == nil && decl.Name.Name == "RNG"
+}
+
+// checkGlobalRNGState flags package-level vars whose type contains
+// *rand.Rand or rand.Source.
+func checkGlobalRNGState(pass *Pass, decl *ast.GenDecl) {
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok || obj.Parent() != pass.Pkg.Scope() {
+				continue
+			}
+			if holdsRNGState(obj.Type()) {
+				pass.Reportf(name.Pos(),
+					"package-level RNG state %s: a global generator is shared across sweep workers (race + draw-order coupling); derive a per-run stream with sim.RNG instead",
+					name.Name)
+			}
+		}
+	}
+}
+
+// holdsRNGState reports whether t is, points to, or wraps math/rand
+// generator state.
+func holdsRNGState(t types.Type) bool {
+	seen := map[types.Type]bool{}
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		switch t := t.(type) {
+		case *types.Pointer:
+			return walk(t.Elem())
+		case *types.Slice:
+			return walk(t.Elem())
+		case *types.Array:
+			return walk(t.Elem())
+		case *types.Map:
+			return walk(t.Elem())
+		case *types.Named:
+			if obj := t.Obj(); obj != nil && obj.Pkg() != nil {
+				path := obj.Pkg().Path()
+				if (path == "math/rand" || path == "math/rand/v2") &&
+					(obj.Name() == "Rand" || obj.Name() == "Source" || obj.Name() == "Source64" ||
+						obj.Name() == "PCG" || obj.Name() == "ChaCha8") {
+					return true
+				}
+			}
+			return walk(t.Underlying())
+		case *types.Struct:
+			for i := 0; i < t.NumFields(); i++ {
+				if walk(t.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Interface:
+			// rand.Source is an interface; named check above catches
+			// it. Other interfaces: can't tell, don't guess.
+		}
+		return false
+	}
+	return walk(t)
+}

@@ -1,0 +1,30 @@
+package polyvet
+
+import "testing"
+
+// TestRepoIsClean is the enforcement test: the whole module must pass
+// the full suite with zero findings. Every invariant violation either
+// gets fixed or gets an adjacent //polyvet: annotation with a reason —
+// there is no third state, and CI runs this on every push (plus the
+// `go vet -vettool` job, which exercises the unitchecker path).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module via go list -export")
+	}
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("go list returned no packages")
+	}
+	for _, pkg := range pkgs {
+		diags, err := RunPackage(pkg, Suite())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Pkg.Path(), err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

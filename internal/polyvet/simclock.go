@@ -1,0 +1,78 @@
+package polyvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SimClock forbids wall-clock reads and global math/rand state in
+// sim-visible packages. Simulated time comes from the engine
+// (sim.Engine.Now); randomness comes from a named, seeded stream
+// (sim.RNG). A single time.Now or global rand.Intn inside the sim
+// makes runs irreproducible — the exact property every sweep,
+// ablation and trace in this repo certifies.
+//
+// Using the time package's *types* (time.Duration for config
+// plumbing) and constructing local *rand.Rand generators is fine;
+// only the wall-clock functions and the package-level math/rand
+// functions (which share one global, lock-guarded source) are
+// flagged. Escape hatch: //polyvet:allow simclock <reason>.
+var SimClock = &Analyzer{
+	Name: "simclock",
+	Doc:  "forbid wall-clock (time.Now/Since/Sleep/...) and global math/rand functions in sim packages",
+	Run:  runSimClock,
+}
+
+// wallClockFuncs are the time-package functions that read or wait on
+// the wall clock. Parsing/formatting helpers and Duration arithmetic
+// stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// globalRandExempt are the math/rand package-level functions that do
+// NOT touch the shared global source: constructors for private
+// generator state. Everything else package-level draws from the
+// process-wide source and is banned in sim code.
+var globalRandExempt = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+}
+
+func runSimClock(pass *Pass) error {
+	if !simVisible(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods (e.g. time.Time.Sub, rand.Rand.Intn) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"wall-clock time.%s in sim package %q: simulated time must come from the engine (sim.Engine.Now / After / At)",
+						fn.Name(), pass.Pkg.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !globalRandExempt[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global rand.%s in sim package %q: draws from the shared process-wide source; use a named seeded stream (sim.RNG(seed, %q))",
+						fn.Name(), pass.Pkg.Name(), "stream-name")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+// Fixture for directive hygiene: stale suppressions and malformed
+// directives are findings of their own — annotations must pay rent.
+package netsim
+
+func clean(xs []int) int {
+	n := 0
+	//polyvet:orderfree this slice loop never needed a suppression // want "stale //polyvet:orderfree"
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+//polyvet:frobnicate whatever // want "unknown //polyvet:frobnicate"
+
+//polyvet:allow nosuch because reasons // want "names unknown analyzer"

@@ -1,0 +1,45 @@
+// Fixture for the hotpath analyzer: //polyvet:noalloc functions must
+// not contain obvious allocation sources.
+package kernels
+
+import "fmt"
+
+//polyvet:noalloc fixture: the XOR kernel contract — index ops only
+func addRow(dst, src []byte) {
+	for i := range src {
+		dst[i] ^= src[i]
+	}
+}
+
+//polyvet:noalloc fixture: appending into a caller buffer is blessed
+func appendByte(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+//polyvet:noalloc fixture: flags the obvious allocators
+func bad(dst []byte, n int, s string) []byte {
+	buf := make([]byte, n)      // want "make in noalloc"
+	msg := fmt.Sprintf("%d", n) // want "fmt.Sprintf call"
+	b := []byte(s)              // want "byte conversion"
+	s2 := s + msg               // want "string concatenation"
+	_ = s2
+	dst = append(dst, buf...)
+	dst = append(dst, b...)
+	return dst
+}
+
+//polyvet:noalloc fixture: closures, boxing and goroutines
+func worse(vals []int, sink func(any), counter *int) {
+	go blank()                 // want "goroutine spawn"
+	f := func() { *counter++ } // want "capturing closure"
+	f()
+	sink(vals[0])  // want "interface boxing of argument"
+	sink(&vals[0]) // ok: pointers are stored directly in interfaces
+}
+
+func blank() {}
+
+// free is unannotated: allocations are fine outside noalloc functions.
+func free(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,47 @@
+// Fixture for nilhook's call-site half: pre-checks at hook call sites
+// are redundant unless they skip computing an expensive argument.
+package netsim
+
+import "telemetry"
+
+type port struct {
+	rec   *telemetry.Recorder
+	label string
+	flow  int32
+}
+
+func (p *port) onDrop(now telemetry.Time) {
+	if p.rec != nil { // want "redundant nil pre-check"
+		p.rec.Record(now, p.flow, 1)
+	}
+}
+
+func (p *port) onDropInit(now telemetry.Time) {
+	if rec := p.rec; rec != nil { // want "redundant nil pre-check"
+		rec.Record(now, p.flow, 1)
+	}
+}
+
+func (p *port) onDropPair(now telemetry.Time) {
+	if p.rec != nil { // want "redundant nil pre-check"
+		p.rec.Record(now, p.flow, 1)
+		p.rec.RecordLabel(now, p.flow, p.label)
+	}
+}
+
+func (p *port) onExpensive(now telemetry.Time, a, b string) {
+	if p.rec != nil { // ok: the pre-check skips the concatenation
+		p.rec.RecordLabel(now, p.flow, a+" "+b)
+	}
+}
+
+func (p *port) mixed(now telemetry.Time) {
+	if p.rec != nil { // ok: the body does more than call hooks
+		p.flow++
+		p.rec.Record(now, p.flow, 1)
+	}
+}
+
+func (p *port) direct(now telemetry.Time) {
+	p.rec.Record(now, p.flow, int64(len(p.label))) // ok: direct call, len is cheap
+}

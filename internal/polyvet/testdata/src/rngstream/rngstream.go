@@ -1,0 +1,25 @@
+// Fixture for the rngstream analyzer (package name netsim =
+// sim-visible).
+package netsim
+
+import (
+	"math/rand"
+
+	"sim"
+)
+
+var sharedRNG *rand.Rand // want "package-level RNG state"
+
+var lookup = map[string]*rand.Rand{} // want "package-level RNG state"
+
+type spray struct {
+	rng *rand.Rand // ok: a field — owners construct it via the deriver
+}
+
+func fresh(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want "direct rand.New" "direct rand.NewSource"
+}
+
+func derived(seed int64) *spray {
+	return &spray{rng: sim.RNG(seed, "ecmp-spray")} // ok: the blessed deriver
+}

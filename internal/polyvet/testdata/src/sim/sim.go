@@ -1,0 +1,19 @@
+// Package sim models the real engine package for fixtures: the
+// blessed RNG deriver lives here, and nothing in this file should be
+// flagged by rngstream or simclock.
+package sim
+
+import "math/rand"
+
+// Time mirrors the engine clock type.
+type Time int64
+
+// RNG is the fixture's stand-in for the blessed deriver: the one
+// function allowed to call rand.New/rand.NewSource directly.
+func RNG(seed int64, stream string) *rand.Rand {
+	h := uint64(1469598103934665603)
+	for _, c := range stream {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	return rand.New(rand.NewSource(seed ^ int64(h)))
+}

@@ -1,0 +1,43 @@
+// Fixture for the simclock analyzer (package name netsim =
+// sim-visible).
+package netsim
+
+import (
+	"math/rand"
+	"time"
+)
+
+type cfg struct {
+	timeout time.Duration // ok: time types are config plumbing, not clock reads
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "wall-clock time.Now"
+}
+
+func nap() {
+	time.Sleep(time.Millisecond) // want "wall-clock time.Sleep"
+}
+
+func deadline(d time.Duration) <-chan time.Time {
+	return time.After(d) // want "wall-clock time.After"
+}
+
+func jitter() float64 {
+	return rand.Float64() // want "global rand.Float64"
+}
+
+func pick(n int) int {
+	return rand.Intn(n) // want "global rand.Intn"
+}
+
+func localDraw(seed int64) float64 {
+	// ok for simclock: New/NewSource build private state, no global
+	// source involved (rngstream owns the construction-path rule).
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func span(a, b time.Time) time.Duration {
+	return b.Sub(a) // ok: method on time.Time, not a clock read
+}

@@ -1,0 +1,27 @@
+// Mutation fixture: the PR 1 tcpsim bug pattern, reintroduced
+// verbatim in shape. Feeding an RTT EWMA once per acked segment in
+// map-iteration order made srtt (and so RTO behaviour) differ run to
+// run. detmap must flag it — this is the regression the analyzer
+// exists to prevent.
+package tcpsim
+
+type sender struct {
+	srtt   float64
+	rttvar float64
+}
+
+func (s *sender) onCumAck(sent map[int64]float64, now float64) {
+	for seq, t := range sent { // want "iteration order is nondeterministic"
+		sample := now - t
+		s.rttvar = 0.75*s.rttvar + 0.25*abs(s.srtt-sample)
+		s.srtt = 0.875*s.srtt + 0.125*sample
+		delete(sent, seq)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

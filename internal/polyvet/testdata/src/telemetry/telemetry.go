@@ -1,0 +1,56 @@
+// Fixture modeling the real telemetry package: nilhook checks the
+// method-side half of the zero-cost disabled-telemetry contract here.
+package telemetry
+
+// Time mirrors sim.Time.
+type Time int64
+
+// Recorder models the flight recorder; nil is the disabled state.
+type Recorder struct {
+	events []int64
+	labels []string
+}
+
+// Record is properly guarded.
+func (r *Recorder) Record(now Time, flow int32, v int64) {
+	if r == nil {
+		return
+	}
+	r.events = append(r.events, v)
+}
+
+// RecordLabel is properly guarded.
+func (r *Recorder) RecordLabel(now Time, flow int32, label string) {
+	if r == nil {
+		return
+	}
+	r.labels = append(r.labels, label)
+}
+
+// LabelName's compound guard keeps the receiver check leftmost, which
+// still short-circuits before any field access.
+func (r *Recorder) LabelName(id int64) string {
+	if r == nil || id < 0 || id >= int64(len(r.labels)) {
+		return ""
+	}
+	return r.labels[id]
+}
+
+func (r *Recorder) Flush() { // want "must begin with"
+	r.events = r.events[:0]
+}
+
+func (r *Recorder) Wrong(id int64) int64 { // want "must begin with"
+	if id < 0 || r == nil { // receiver check is not leftmost: r.events could be reached first
+		return 0
+	}
+	return r.events[id]
+}
+
+func (_ *Recorder) Reset() { // want "discards its receiver"
+}
+
+// grow is unexported: not part of the hook contract.
+func (r *Recorder) grow() {
+	r.events = append(r.events, 0)
+}

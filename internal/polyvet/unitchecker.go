@@ -1,0 +1,110 @@
+package polyvet
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// The `go vet -vettool` protocol (the same one
+// golang.org/x/tools/go/analysis/unitchecker speaks, reimplemented on
+// the standard library). The go command drives the tool in three
+// ways:
+//
+//	polyvet -V=full        print a version line for the build cache
+//	polyvet -flags         print the tool's flag schema as JSON
+//	polyvet [flags] x.cfg  analyze one compilation unit described by
+//	                       the JSON config the go command planned
+//
+// The cfg names the package's Go files, an import map, and the export
+// data file for every dependency (already built by the go command),
+// so a unit check needs no `go list` of its own. Facts are not
+// exchanged between units (the suite needs none), but the protocol's
+// facts file (VetxOutput) must still be written for the go command's
+// cache.
+
+// vetConfig mirrors the JSON the go command writes (see
+// cmd/go/internal/work's buildVetConfig); unused fields are accepted
+// and ignored.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// IsVetCfg reports whether arg names a unitchecker config file.
+func IsVetCfg(arg string) bool { return strings.HasSuffix(arg, ".cfg") }
+
+// PrintVersion implements the -V=full handshake. The go command
+// hashes this line into its build cache key, and requires the format
+// "<name> version <semver-or-devel...>".
+func PrintVersion(w io.Writer, progname string) {
+	fmt.Fprintf(w, "%s version v1.0.0-polyvet\n", progname)
+}
+
+// PrintFlagDefs implements the -flags handshake: the JSON schema of
+// analyzer flags the driver may forward. The suite takes none.
+func PrintFlagDefs(w io.Writer) {
+	fmt.Fprintln(w, "[]")
+}
+
+// RunUnit executes the suite over the compilation unit described by
+// cfgPath and returns its diagnostics.
+func RunUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, fmt.Errorf("polyvet: reading vet config: %w", err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("polyvet: parsing vet config %s: %w", cfgPath, err)
+	}
+
+	// The go command expects the facts file regardless of findings;
+	// the suite exchanges none, so it is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return nil, fmt.Errorf("polyvet: writing facts file: %w", err)
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, nil
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg, err := checkPackage(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return RunPackage(pkg, analyzers)
+}

@@ -123,6 +123,7 @@ func (d *Decoder) Decode() ([][]byte, error) {
 	sol := newSolver(d.p.L, d.t)
 	addConstraintRows(sol, d.p)
 	var scratch []int32 // reused LT expansion; addBinaryRow copies it
+	//polyvet:orderfree row insertion order cannot change the unique full-rank solution (only operation counts); sorting K+overhead ESIs per decode would tax the codec hot path
 	for esi, sym := range d.recv {
 		scratch = d.p.AppendLTIndices(scratch[:0], esi)
 		sol.addBinaryRow(scratch, sym)

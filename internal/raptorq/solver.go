@@ -178,11 +178,13 @@ func (s *solver) solve() ([][]byte, error) {
 		if rid >= 0 {
 			r := &s.bin[rid]
 			var c int32
+			//polyvet:orderfree the guard above ensures len(r.active) == 1, so there is exactly one visit order
 			for col := range r.active {
 				c = col
 			}
 			// Eliminate c from every other row containing it. The pivot
 			// row has no other active columns, so no fill-in occurs.
+			//polyvet:orderfree GF(256) row additions commute and each target row is touched exactly once; queue order only permutes pivot discovery, and any elimination order yields the same unique solution
 			for orid := range s.colRows[c] {
 				if orid == rid {
 					continue
@@ -222,6 +224,7 @@ func (s *solver) solve() ([][]byte, error) {
 		if best < 0 {
 			break // unreachable: alive > 0 implies an alive column exists
 		}
+		//polyvet:orderfree each referencing row is updated independently (delete + insert at fixed column best); queue order only permutes pivot discovery, not the solution
 		for orid := range s.colRows[best] {
 			o := &s.bin[orid]
 			delete(o.active, best)
@@ -292,6 +295,7 @@ func (s *solver) solve() ([][]byte, error) {
 		r := s.bin[pv.row]
 		sym := r.sym
 		if s.t > 0 {
+			//polyvet:orderfree XOR accumulation over distinct columns commutes byte-for-byte
 			for c := range r.inact {
 				gf256.AddRow(sym, out[c])
 			}
@@ -356,6 +360,7 @@ func gaussJordan(eq [][]byte, eqSym [][]byte, u, t int) ([][]byte, error) {
 
 // symDiff applies dst ^= src in set form (symmetric difference).
 func symDiff(dst, src map[int32]struct{}) {
+	//polyvet:orderfree per-key toggle: src keys are distinct, so each dst entry flips exactly once regardless of visit order
 	for k := range src {
 		if _, ok := dst[k]; ok {
 			delete(dst, k)

@@ -133,10 +133,8 @@ func (s *System) OpenFlows() int {
 func (s *System) StartFlow(src, dst int, bytes int64, onDone func(FlowResult)) int32 {
 	flow := s.nextFlow
 	s.nextFlow++
-	if rec := s.Net.Rec; rec != nil {
-		rec.OpenFlow(s.Net.Now(), flow, s.proto(),
-			s.Agents[src].host.ID, s.Agents[dst].host.ID, bytes, 1)
-	}
+	s.Net.Rec.OpenFlow(s.Net.Now(), flow, s.proto(),
+		s.Agents[src].host.ID, s.Agents[dst].host.ID, bytes, 1)
 	segs := (bytes + int64(s.Cfg.SegPayload) - 1) / int64(s.Cfg.SegPayload)
 	if segs < 1 {
 		segs = 1
@@ -348,12 +346,10 @@ func (s *tcpSender) onRTO() {
 	if s.backoff < s.sys.Cfg.MaxBackoff {
 		s.backoff++
 	}
-	if rec := s.sys.Net.Rec; rec != nil {
-		now := s.sys.Net.Now()
-		host := s.sys.Agents[s.src].host.ID
-		rec.Record(now, s.flow, telemetry.EvTimeout, host, int64(s.backoff))
-		rec.Record(now, s.flow, telemetry.EvCwnd, host, int64(s.cwnd*1000))
-	}
+	now := s.sys.Net.Now()
+	host := s.sys.Agents[s.src].host.ID
+	s.sys.Net.Rec.Record(now, s.flow, telemetry.EvTimeout, host, int64(s.backoff))
+	s.sys.Net.Rec.Record(now, s.flow, telemetry.EvCwnd, host, int64(s.cwnd*1000))
 	s.trySend()
 }
 
@@ -365,6 +361,7 @@ func (s *tcpSender) sampleRTT(ackSeq int64) {
 	// run to run under cumulative ACKs.
 	earliest := int64(-1)
 	var at sim.Time
+	//polyvet:orderfree argmin over distinct seq keys: every visit order selects the same (earliest, at) pair, and delete is per-key
 	for seq, t := range s.sent {
 		if seq < ackSeq {
 			if earliest < 0 || seq < earliest {

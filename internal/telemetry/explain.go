@@ -3,7 +3,8 @@ package telemetry
 import (
 	"fmt"
 	"io"
-	"sort"
+	"maps"
+	"slices"
 
 	"polyraptor/internal/sim"
 )
@@ -108,12 +109,9 @@ func (t *Trace) Explain() []FlowDiagnosis {
 	for i := range out {
 		d := &out[i]
 		if m := sites[d.Info.Flow]; len(m) > 0 {
-			names := make([]string, 0, len(m))
-			for s := range m {
-				names = append(names, s)
-			}
-			sort.Strings(names)
-			for _, s := range names {
+			// Sorted keys: ties on count break toward the lexically
+			// first site on every run.
+			for _, s := range slices.Sorted(maps.Keys(m)) {
 				if m[s] > d.TopDropCount {
 					d.TopDropSite, d.TopDropCount = s, m[s]
 				}

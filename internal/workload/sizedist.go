@@ -1,8 +1,10 @@
 package workload
 
 import (
+	"maps"
 	"math"
 	"math/rand"
+	"slices"
 	"sort"
 )
 
@@ -29,7 +31,8 @@ type cdfKnot struct {
 // 1. Panics on malformed input (distributions are program constants).
 func NewSizeDist(name string, knots map[int64]float64) SizeDist {
 	d := SizeDist{Name: name}
-	for b, c := range knots {
+	for _, b := range slices.Sorted(maps.Keys(knots)) {
+		c := knots[b]
 		if b < 1 || c <= 0 || c > 1 {
 			panic("workload: malformed size distribution knot")
 		}
