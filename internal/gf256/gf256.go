@@ -40,9 +40,14 @@ func Features() []string {
 	return fs
 }
 
-// expTable[i] = alpha^i for i in [0, 510). Doubled so that
-// mul can index expTable[log(a)+log(b)] without a modulo.
-var expTable [510]byte
+// expTable[i] = alpha^i mod alpha^255, doubled so that mul can index
+// expTable[log(a)+log(b)] without a modulo. The length is 511 rather
+// than 510: indexing with a sum of two byte-typed logs (each ≤ 255)
+// then provably never exceeds 510, so the compiler's prove pass drops
+// the bounds check from every table lookup in the row-kernel tails.
+// Index 510 itself is unreachable (logs are ≤ 254) but holds the
+// correct alpha^510 = 1 anyway.
+var expTable [511]byte
 
 // logTable[a] = log_alpha(a) for a in [1, 256). logTable[0] is unused
 // (log of zero is undefined); it is set to 0 and guarded by callers.
@@ -60,7 +65,7 @@ func init() {
 	}
 	// alpha^255 == 1; repeat the cycle so exp lookups for summed logs
 	// (max 254+254 = 508) stay in range.
-	for i := 255; i < 510; i++ {
+	for i := 255; i < 511; i++ {
 		expTable[i] = expTable[i-255]
 	}
 	// Nibble product tables for the SIMD kernels: for each coefficient
@@ -169,6 +174,8 @@ func mulWord(w uint64, m *[8]uint64) uint64 {
 // AddRow sets dst[i] ^= src[i] for every position — 16 bytes per step
 // on amd64, 8-byte words elsewhere, with a byte tail. dst and src must
 // have equal length and not overlap. Empty rows are a no-op.
+//
+//polyvet:noalloc matrix-elimination hot path; runs O(K^2) times per block
 func AddRow(dst, src []byte) {
 	if len(src) == 0 {
 		return
@@ -184,19 +191,25 @@ func AddRow(dst, src []byte) {
 	addRowWords(dst[i:len(src)], src[i:])
 }
 
-// addRowWords is the portable word-wise core of AddRow.
+// addRowWords is the portable word-wise core of AddRow. Both loops are
+// written in the length-cursor style the prove pass can verify: the
+// one reslice up front is the only bounds check, and every in-loop
+// access is covered by the loop condition (word loop) or the range
+// clause (byte tail).
+//
+//polyvet:noalloc innermost XOR kernel of matrix elimination
+//polyvet:nobce per-element bounds checks would halve word-loop throughput
 func addRowWords(dst, src []byte) {
-	if len(src) == 0 {
-		return
+	dst = dst[:len(src)] // single bounds check; hints len(dst) == len(src)
+	for len(dst) >= 8 && len(src) >= 8 {
+		binary.LittleEndian.PutUint64(dst,
+			binary.LittleEndian.Uint64(dst)^binary.LittleEndian.Uint64(src))
+		dst = dst[8:]
+		src = src[8:]
 	}
-	_ = dst[len(src)-1]
-	n := len(src) &^ 7
-	for i := 0; i < n; i += 8 {
-		binary.LittleEndian.PutUint64(dst[i:],
-			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
-	}
-	for i := n; i < len(src); i++ {
-		dst[i] ^= src[i]
+	dst = dst[:len(src)]
+	for i, s := range src {
+		dst[i] ^= s
 	}
 }
 
@@ -216,6 +229,8 @@ func AddRowScalar(dst, src []byte) {
 // coefficient is a no-op; coefficient one degenerates to AddRow. It
 // runs 16 bytes per step on amd64 with SSSE3, 8-byte words elsewhere,
 // with a scalar byte tail.
+//
+//polyvet:noalloc matrix-elimination hot path; runs O(K^2) times per block
 func MulAddRow(dst, src []byte, c byte) {
 	switch {
 	case c == 0 || len(src) == 0:
@@ -238,27 +253,32 @@ func MulAddRow(dst, src []byte, c byte) {
 // mulAddRowWords is the portable word-wise core of MulAddRow: 8 bytes
 // at a time via the bit-plane multiply, then a scalar byte tail. It is
 // the whole kernel on non-SSSE3 targets and handles the sub-16-byte
-// remainder on amd64. c must be neither 0 nor 1.
+// remainder on amd64. c must be neither 0 nor 1. Written in the same
+// length-cursor style as addRowWords so the only bounds checks are the
+// two reslices outside the loops; the exp-table lookups in the tail
+// are proven in-bounds by expTable's 511-entry length.
+//
+//polyvet:noalloc innermost multiply-accumulate kernel of matrix elimination
+//polyvet:nobce per-element bounds checks would halve word-loop throughput
 func mulAddRowWords(dst, src []byte, c byte) {
-	if len(src) == 0 {
-		return
-	}
-	_ = dst[len(src)-1]
+	dst = dst[:len(src)] // single bounds check; hints len(dst) == len(src)
 	m := mulPlanes(c)
 	m0, m1, m2, m3 := m[0], m[1], m[2], m[3]
 	m4, m5, m6, m7 := m[4], m[5], m[6], m[7]
-	n := len(src) &^ 7
-	for i := 0; i < n; i += 8 {
-		w := binary.LittleEndian.Uint64(src[i:])
+	for len(dst) >= 8 && len(src) >= 8 {
+		w := binary.LittleEndian.Uint64(src)
 		p := (w&lsbLanes)*m0 ^ (w>>1&lsbLanes)*m1 ^
 			(w>>2&lsbLanes)*m2 ^ (w>>3&lsbLanes)*m3 ^
 			(w>>4&lsbLanes)*m4 ^ (w>>5&lsbLanes)*m5 ^
 			(w>>6&lsbLanes)*m6 ^ (w>>7&lsbLanes)*m7
-		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^p)
+		binary.LittleEndian.PutUint64(dst, binary.LittleEndian.Uint64(dst)^p)
+		dst = dst[8:]
+		src = src[8:]
 	}
+	dst = dst[:len(src)]
 	lc := int(logTable[c])
-	for i := n; i < len(src); i++ {
-		if s := src[i]; s != 0 {
+	for i, s := range src {
+		if s != 0 {
 			dst[i] ^= expTable[lc+int(logTable[s])]
 		}
 	}
@@ -286,6 +306,8 @@ func MulAddRowScalar(dst, src []byte, c byte) {
 // ScaleRow multiplies every element of row by c in place, 16 bytes per
 // step on amd64 with SSSE3, 8-byte words elsewhere, with a scalar byte
 // tail.
+//
+//polyvet:noalloc pivot-normalization hot path of matrix elimination
 func ScaleRow(row []byte, c byte) {
 	switch c {
 	case 0:
@@ -307,17 +329,21 @@ func ScaleRow(row []byte, c byte) {
 }
 
 // scaleRowWords is the portable word-wise core of ScaleRow. c must be
-// neither 0 nor 1.
+// neither 0 nor 1. Length-cursor style: the loop conditions cover
+// every access, so no bounds check survives into either loop.
+//
+//polyvet:noalloc in-place scale kernel of matrix elimination
+//polyvet:nobce per-element bounds checks would halve word-loop throughput
 func scaleRowWords(row []byte, c byte) {
 	m := mulPlanes(c)
-	n := len(row) &^ 7
-	for i := 0; i < n; i += 8 {
-		binary.LittleEndian.PutUint64(row[i:],
-			mulWord(binary.LittleEndian.Uint64(row[i:]), &m))
+	for len(row) >= 8 {
+		binary.LittleEndian.PutUint64(row,
+			mulWord(binary.LittleEndian.Uint64(row), &m))
+		row = row[8:]
 	}
 	lc := int(logTable[c])
-	for i := n; i < len(row); i++ {
-		if s := row[i]; s != 0 {
+	for i, s := range row {
+		if s != 0 {
 			row[i] = expTable[lc+int(logTable[s])]
 		}
 	}

@@ -1,0 +1,92 @@
+package deep
+
+import (
+	"fmt"
+	"go/token"
+
+	"polyraptor/internal/polyvet"
+)
+
+// The benchdrift gate diffs consecutive BENCH_<n>.json reports: an
+// allocs/op increase in any shared cell is a failure (allocation
+// counts are deterministic, so any rise is a real regression, not
+// noise), and a throughput drop beyond DriftMBpsTolerance fails for
+// cells that opted into the MB/s lock via ALLOC_BUDGET.json. The MB/s
+// gate is opt-in because the trajectory was recorded across different
+// containers: the BENCH_3→BENCH_4 hop alone moved gf256 AddRow by
+// −40% with zero code change, and a blanket lock would institutionalize
+// that noise as CI flake.
+
+// DriftMBpsTolerance is the fractional MB/s regression allowed between
+// consecutive reports for cells with lock_mbps.
+const DriftMBpsTolerance = 0.15
+
+// allocSlack is the fractional allocs/op headroom between consecutive
+// reports for cells that do allocate: per-op averages of amortized
+// allocations (map growth, slice doubling) wobble with b.N. Zero-alloc
+// cells get no slack — 0 must stay exactly 0.
+const allocSlack = 0.02
+
+// CheckDrift compares each consecutive pair of BENCH_<n>.json reports
+// under dir. Budget may be nil (no MB/s locks). Cells present in only
+// one report of a pair are noted informationally: benchmarks appearing
+// or disappearing should be deliberate.
+func CheckDrift(dir string, budget *Budget) ([]polyvet.Diagnostic, error) {
+	reports, err := benchTrajectory(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(reports) < 2 {
+		return nil, fmt.Errorf("benchdrift: need at least two BENCH_<n>.json reports under %q, have %d", dir, len(reports))
+	}
+	var diags []polyvet.Diagnostic
+	for i := 1; i < len(reports); i++ {
+		diags = append(diags, diffReports(reports[i-1], reports[i], budget)...)
+	}
+	return diags, nil
+}
+
+func diffReports(prev, cur *benchReport, budget *Budget) []polyvet.Diagnostic {
+	pos := token.Position{Filename: cur.path, Line: 1}
+	var diags []polyvet.Diagnostic
+	for _, res := range cur.Results {
+		pAllocs, pMBps, ok := prev.cell(res.Name)
+		if !ok {
+			diags = append(diags, polyvet.Diagnostic{
+				Pos: pos, Analyzer: "benchdrift", Info: true,
+				Message: fmt.Sprintf("cell %q is new in %s (absent from %s)", res.Name, cur.path, prev.path),
+			})
+			continue
+		}
+		limit := pAllocs * (1 + allocSlack)
+		if pAllocs == 0 {
+			limit = 0
+		}
+		if res.AllocsPerOp > limit {
+			diags = append(diags, polyvet.Diagnostic{
+				Pos: pos, Analyzer: "benchdrift",
+				Message: fmt.Sprintf("%s: allocs/op rose %.2f → %.2f vs %s — allocation regressions are deterministic, fix or re-budget deliberately",
+					res.Name, pAllocs, res.AllocsPerOp, prev.path),
+			})
+		}
+		if budget != nil && budget.Cells[res.Name].LockMBps && pMBps > 0 {
+			drop := (pMBps - res.MBPerS) / pMBps
+			if drop > DriftMBpsTolerance {
+				diags = append(diags, polyvet.Diagnostic{
+					Pos: pos, Analyzer: "benchdrift",
+					Message: fmt.Sprintf("%s: MB/s fell %.1f → %.1f (−%.0f%%, tolerance %.0f%%) vs %s in a throughput-locked cell",
+						res.Name, pMBps, res.MBPerS, drop*100, DriftMBpsTolerance*100, prev.path),
+				})
+			}
+		}
+	}
+	for _, res := range prev.Results {
+		if _, _, ok := cur.cell(res.Name); !ok {
+			diags = append(diags, polyvet.Diagnostic{
+				Pos: pos, Analyzer: "benchdrift", Info: true,
+				Message: fmt.Sprintf("cell %q from %s is gone in %s", res.Name, prev.path, cur.path),
+			})
+		}
+	}
+	return diags
+}

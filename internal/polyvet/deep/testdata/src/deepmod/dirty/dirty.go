@@ -1,0 +1,52 @@
+// Package dirty holds one deliberate violation per deep gate: the
+// regression tests compile it for real and require every injected
+// defect to be reported. If a toolchain change makes any of these
+// pass, the corresponding gate has gone blind.
+package dirty
+
+// Sink keeps results observable.
+var Sink int
+
+// Leaky violates noalloc: returning the address of a local forces it
+// off the stack ("moved to heap").
+//
+//polyvet:noalloc injected regression: the result pointer escapes
+func Leaky(n int) *int {
+	x := n * 2
+	return &x
+}
+
+// Gather violates nobce: neither dst[i] nor src[j] relates to a loop
+// bound the prove pass can use, so both checks stay in the loop.
+//
+//polyvet:nobce injected regression: unprovable indices in the loop
+func Gather(dst, src []byte, idx []int) {
+	for i, j := range idx {
+		dst[i] = src[j]
+	}
+}
+
+// Heavy violates inline: defer is beyond the inliner.
+//
+//polyvet:inline injected regression: defer blocks inlining
+func Heavy(fn func()) int {
+	defer fn()
+	Sink++
+	return Sink
+}
+
+// NoLoops wastes a nobce directive: nothing to bounds-check means the
+// annotation pays no rent and must be flagged.
+//
+//polyvet:nobce injected regression: directive on a loop-free function
+func NoLoops(a, b int) int { return a + b }
+
+// LeakyBuffer is the anti-reconciliation case: the syntactic hotpath
+// analyzer flags the make AND the compiler confirms it escapes, so
+// the finding must stay fatal — no stack proof, no downgrade.
+//
+//polyvet:noalloc injected regression: the returned buffer escapes
+func LeakyBuffer(n int) []byte {
+	buf := make([]byte, n)
+	return buf
+}

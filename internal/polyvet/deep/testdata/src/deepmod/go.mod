@@ -1,0 +1,3 @@
+module deepmod
+
+go 1.24

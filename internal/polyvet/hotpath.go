@@ -100,6 +100,11 @@ func checkNoAllocCall(pass *Pass, call *ast.CallExpr, report func(token.Pos, str
 			case "new":
 				report(call.Pos(), "new")
 				return
+			case "panic":
+				// A panic argument heap-boxes only while crashing — cold
+				// path by definition. Deep mode's escape gate exempts
+				// the same sites via their panic-only flow traces.
+				return
 			}
 		}
 	}

@@ -89,10 +89,20 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Info marks an informational diagnostic: printed, but not a
+	// failure. Deep mode downgrades syntactic hotpath findings to Info
+	// when the compiler proves the flagged site stack-allocated, and
+	// uses Info for skip-and-warn notes when a toolchain's diagnostic
+	// format is unrecognized.
+	Info bool
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+	sev := ""
+	if d.Info {
+		sev = "info: "
+	}
+	return fmt.Sprintf("%s: %s[%s] %s", d.Pos, sev, d.Analyzer, d.Message)
 }
 
 // Suite returns the full analyzer suite in stable order.

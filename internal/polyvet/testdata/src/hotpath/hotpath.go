@@ -43,3 +43,14 @@ func blank() {}
 func free(n int) []byte {
 	return make([]byte, n)
 }
+
+// guard documents the panic exemption: a panic argument heap-boxes
+// only while crashing, so the cold path is not a hot-path finding.
+//
+//polyvet:noalloc fixture: panic arguments are cold-path
+func guard(n int) int {
+	if n < 0 {
+		panic("hotpath: negative length") // ok: boxing on the crash path only
+	}
+	return n * 2
+}

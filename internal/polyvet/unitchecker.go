@@ -56,14 +56,34 @@ func PrintVersion(w io.Writer, progname string) {
 }
 
 // PrintFlagDefs implements the -flags handshake: the JSON schema of
-// analyzer flags the driver may forward. The suite takes none.
+// analyzer flags the driver may forward. The schema mirrors the go
+// command's expectation (cmd/go/internal/work): a JSON array of
+// {Name, Bool, Usage} objects. Registering deep here is what lets
+// `go vet -vettool=polyvet -deep ./...` forward the flag into every
+// per-unit tool invocation.
 func PrintFlagDefs(w io.Writer) {
-	fmt.Fprintln(w, "[]")
+	fmt.Fprintln(w, `[{"Name":"deep","Bool":true,"Usage":"also run the compiler-ground-truth gates (escape, bce, inline)"}]`)
 }
 
-// RunUnit executes the suite over the compilation unit described by
-// cfgPath and returns its diagnostics.
-func RunUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+// A Unit is one go vet compilation unit, loaded and type-checked.
+// Pkg is nil when the unit needs no analysis (facts-only request or a
+// tolerated typecheck failure).
+type Unit struct {
+	Pkg        *Package
+	Dir        string
+	ImportPath string
+	// Test marks a test variant (an external _test package or an
+	// in-package unit including _test.go files). Deep mode skips these:
+	// test packages cannot be `go build` targets, and every gated
+	// directive lives in non-test files of the base package, which gets
+	// its own unit.
+	Test bool
+}
+
+// LoadUnit reads the unitchecker config at cfgPath, writes the
+// (empty) facts file the go command expects, and type-checks the
+// unit's sources against its dependencies' export data.
+func LoadUnit(cfgPath string) (*Unit, error) {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		return nil, fmt.Errorf("polyvet: reading vet config: %w", err)
@@ -80,8 +100,16 @@ func RunUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("polyvet: writing facts file: %w", err)
 		}
 	}
+	unit := &Unit{Dir: cfg.Dir, ImportPath: cfg.ImportPath}
+	unit.Test = strings.HasSuffix(cfg.ImportPath, "_test") ||
+		strings.HasSuffix(cfg.ImportPath, ".test")
+	for _, f := range cfg.GoFiles {
+		if strings.HasSuffix(f, "_test.go") {
+			unit.Test = true
+		}
+	}
 	if cfg.VetxOnly {
-		return nil, nil
+		return unit, nil
 	}
 
 	compiler := cfg.Compiler
@@ -102,9 +130,20 @@ func RunUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	pkg, err := checkPackage(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
-			return nil, nil
+			return unit, nil
 		}
 		return nil, err
 	}
-	return RunPackage(pkg, analyzers)
+	unit.Pkg = pkg
+	return unit, nil
+}
+
+// RunUnit executes the suite over the compilation unit described by
+// cfgPath and returns its diagnostics.
+func RunUnit(cfgPath string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	unit, err := LoadUnit(cfgPath)
+	if err != nil || unit.Pkg == nil {
+		return nil, err
+	}
+	return RunPackage(unit.Pkg, analyzers)
 }

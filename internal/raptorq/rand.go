@@ -32,6 +32,8 @@ func splitmix64(state *uint64) uint64 {
 // rnd implements Rand[y, i, m] per RFC 6330 §5.3.5.1: four table
 // lookups keyed on the bytes of y offset by i, XORed and reduced mod m.
 // m must be > 0.
+//
+//polyvet:inline called four+ times per tuple; the call overhead would dominate the lookups
 func rnd(y uint32, i uint8, m uint32) uint32 {
 	x0 := randV[0][uint8(y)+i]
 	x1 := randV[1][uint8(y>>8)+i]

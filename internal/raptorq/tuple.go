@@ -50,6 +50,9 @@ func (p Params) LTIndices(x uint32) []int32 {
 // AppendLTIndices appends the LT indices of encoding symbol X to dst
 // and returns the extended slice — the allocation-free form of
 // LTIndices for hot paths that reuse a scratch slice.
+//
+//polyvet:noalloc per-symbol tuple expansion; callers reuse a scratch slice
+//polyvet:nobce index-generation loops append only; nothing to bounds-check per element
 func (p Params) AppendLTIndices(dst []int32, x uint32) []int32 {
 	d, a, b, d1, a1, b1 := p.tuple(x)
 	for n := 0; n < d; {

@@ -299,6 +299,7 @@ func (s *Server) emit(sess *serveSession, flow uint32, to net.Addr) {
 	s.send(flow, b, uint32(esi), to)
 }
 
+//polyvet:noalloc per-datagram fast path; symbol and packet buffers are reused across sends
 func (s *Server) send(flow uint32, sbn int, esi uint32, to net.Addr) {
 	s.sym = s.enc.Block(sbn).AppendSymbol(s.sym[:0], esi)
 	s.pkt = wire.AppendData(s.pkt[:0], wire.Data{

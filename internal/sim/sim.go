@@ -75,6 +75,8 @@ type Timer struct {
 
 // At schedules fn at absolute time t. Scheduling in the past panics:
 // it is always a logic error in a discrete-event model.
+//
+//polyvet:noalloc event scheduling runs per packet; slot/queue reuse keeps it amortized alloc-free
 func (e *Engine) At(t Time, fn func()) Timer {
 	if t < e.now {
 		panic("sim: scheduling event in the past")
@@ -97,6 +99,8 @@ func (e *Engine) At(t Time, fn func()) Timer {
 }
 
 // After schedules fn after delay d.
+//
+//polyvet:noalloc thin wrapper on At; must add no allocation of its own
 func (e *Engine) After(d Time, fn func()) Timer {
 	return e.At(e.now+d, fn)
 }
@@ -105,6 +109,8 @@ func (e *Engine) After(d Time, fn func()) Timer {
 // queue in O(log n). Cancelling an already-fired or already-cancelled
 // timer is a no-op and leaves no residual state: the generation tag
 // stops a stale handle from touching a reused slot.
+//
+//polyvet:noalloc timeout cancellation runs per delivered packet
 func (t Timer) Cancel() {
 	e := t.engine
 	if e == nil {
@@ -119,6 +125,8 @@ func (t Timer) Cancel() {
 
 // Active reports whether the timer is still queued (scheduled, not yet
 // fired or cancelled).
+//
+//polyvet:inline two-field check on the scheduler fast path
 func (t Timer) Active() bool {
 	if t.engine == nil {
 		return false
@@ -128,6 +136,8 @@ func (t Timer) Active() bool {
 }
 
 // removeAt deletes the event at heap index i, releasing its slot.
+//
+//polyvet:noalloc runs on every event fire and cancel; free-list reuse keeps it alloc-free
 func (e *Engine) removeAt(i int) {
 	s := e.queue[i].slot
 	e.slots[s].pos = -1
@@ -182,6 +192,8 @@ func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
 
 // less orders heap entries by (at, seq): time order with FIFO
 // tie-breaking for simultaneous events.
+//
+//polyvet:inline heap comparator; called O(log n) times per event
 func (e *Engine) less(i, j int) bool {
 	if e.queue[i].at != e.queue[j].at {
 		return e.queue[i].at < e.queue[j].at
@@ -189,6 +201,7 @@ func (e *Engine) less(i, j int) bool {
 	return e.queue[i].seq < e.queue[j].seq
 }
 
+//polyvet:inline heap swap; called O(log n) times per event
 func (e *Engine) swap(i, j int) {
 	e.queue[i], e.queue[j] = e.queue[j], e.queue[i]
 	e.slots[e.queue[i].slot].pos = int32(i)
