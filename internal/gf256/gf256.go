@@ -37,6 +37,9 @@ func Features() []string {
 	if useSSSE3 {
 		fs = append(fs, "ssse3")
 	}
+	if useAVX2 {
+		fs = append(fs, "avx2")
+	}
 	return fs
 }
 
@@ -182,10 +185,16 @@ func AddRow(dst, src []byte) {
 	}
 	_ = dst[len(src)-1] // bounds-check hint
 	i := 0
-	if haveSSE2 {
-		if n := len(src) &^ 15; n > 0 {
-			galXorSSE2(&dst[0], &src[0], n)
+	if useAVX2 {
+		if n := len(src) &^ 31; n > 0 {
+			galXorAVX2(&dst[0], &src[0], n)
 			i = n
+		}
+	}
+	if haveSSE2 {
+		if n := (len(src) - i) &^ 15; n > 0 {
+			galXorSSE2(&dst[i], &src[i], n)
+			i += n
 		}
 	}
 	addRowWords(dst[i:len(src)], src[i:])
@@ -241,10 +250,16 @@ func MulAddRow(dst, src []byte, c byte) {
 	}
 	_ = dst[len(src)-1]
 	i := 0
-	if useSSSE3 {
-		if n := len(src) &^ 15; n > 0 {
-			galMulAddSSSE3(&nibTab[c][0], &dst[0], &src[0], n)
+	if useAVX2 {
+		if n := len(src) &^ 31; n > 0 {
+			galMulAddAVX2(&nibTab[c][0], &dst[0], &src[0], n)
 			i = n
+		}
+	}
+	if useSSSE3 {
+		if n := (len(src) - i) &^ 15; n > 0 {
+			galMulAddSSSE3(&nibTab[c][0], &dst[i], &src[i], n)
+			i += n
 		}
 	}
 	mulAddRowWords(dst[i:len(src)], src[i:], c)
@@ -319,10 +334,16 @@ func ScaleRow(row []byte, c byte) {
 		return
 	}
 	i := 0
-	if useSSSE3 {
-		if n := len(row) &^ 15; n > 0 {
-			galMulSSSE3(&nibTab[c][0], &row[0], n)
+	if useAVX2 {
+		if n := len(row) &^ 31; n > 0 {
+			galMulAVX2(&nibTab[c][0], &row[0], n)
 			i = n
+		}
+	}
+	if useSSSE3 {
+		if n := (len(row) - i) &^ 15; n > 0 {
+			galMulSSSE3(&nibTab[c][0], &row[i], n)
+			i += n
 		}
 	}
 	scaleRowWords(row[i:], c)

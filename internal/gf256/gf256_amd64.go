@@ -34,3 +34,45 @@ func galMulAddSSSE3(tab, dst, src *byte, n int)
 //
 //go:noescape
 func galMulSSSE3(tab, row *byte, n int)
+
+// useAVX2 gates the 32-byte-wide kernels: the CPU must report AVX2
+// (CPUID leaf 7 EBX bit 5) and the OS must save/restore the ymm state
+// (OSXSAVE set and XCR0 bits 1:2 enabled), the standard two-part check.
+var useAVX2 = func() bool {
+	const osxsave, avx = 1 << 27, 1 << 28
+	if ecx := cpuidFeatureECX(); ecx&osxsave == 0 || ecx&avx == 0 {
+		return false
+	}
+	if xgetbv0()&6 != 6 {
+		return false
+	}
+	return cpuidLeaf7EBX()&(1<<5) != 0
+}()
+
+// cpuidLeaf7EBX returns EBX of CPUID leaf 7 subleaf 0 (extended
+// features; bit 5 = AVX2). Implemented in gf256_amd64.s.
+func cpuidLeaf7EBX() (ebx uint32)
+
+// xgetbv0 returns the low 32 bits of XCR0 (the XSAVE feature mask;
+// bits 1:2 = SSE and AVX register state). Implemented in gf256_amd64.s.
+func xgetbv0() (eax uint32)
+
+// galXorAVX2 computes dst[i] ^= src[i] for i in [0, n) where n is a
+// positive multiple of 32, 64 bytes per unrolled step. dst and src must
+// not overlap. Implemented in gf256_amd64.s.
+//
+//go:noescape
+func galXorAVX2(dst, src *byte, n int)
+
+// galMulAddAVX2 is galMulAddSSSE3 widened to 32-byte steps: the 16-byte
+// nibble tables are broadcast to both ymm lanes, so the same in-lane
+// PSHUFB trick applies. n must be a positive multiple of 32.
+//
+//go:noescape
+func galMulAddAVX2(tab, dst, src *byte, n int)
+
+// galMulAVX2 computes row[i] = c*row[i] for i in [0, n), with tab and n
+// as in galMulAddAVX2.
+//
+//go:noescape
+func galMulAVX2(tab, row *byte, n int)

@@ -98,3 +98,112 @@ mulLoop:
 	SUBQ   $16, CX
 	JNZ    mulLoop
 	RET
+
+// func cpuidLeaf7EBX() (ebx uint32)
+TEXT ·cpuidLeaf7EBX(SB), NOSPLIT, $0-4
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	MOVL BX, ebx+0(FP)
+	RET
+
+// func xgetbv0() (eax uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-4
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	RET
+
+// func galXorAVX2(dst, src *byte, n int)
+//
+// dst[i] ^= src[i] for i in [0, n), n a positive multiple of 32.
+// 64 bytes per main-loop step, one 32-byte step for the remainder.
+TEXT ·galXorAVX2(SB), NOSPLIT, $0-24
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+
+	SUBQ $64, CX
+	JL   xorTail32
+
+xorLoop64:
+	VMOVDQU (SI), Y0
+	VMOVDQU 32(SI), Y1
+	VPXOR   (DI), Y0, Y0
+	VPXOR   32(DI), Y1, Y1
+	VMOVDQU Y0, (DI)
+	VMOVDQU Y1, 32(DI)
+	ADDQ    $64, SI
+	ADDQ    $64, DI
+	SUBQ    $64, CX
+	JGE     xorLoop64
+
+xorTail32:
+	ADDQ $64, CX
+	JZ   xorDone
+	// n is a multiple of 32, so exactly 32 bytes remain.
+	VMOVDQU (SI), Y0
+	VPXOR   (DI), Y0, Y0
+	VMOVDQU Y0, (DI)
+
+xorDone:
+	VZEROUPPER
+	RET
+
+// func galMulAddAVX2(tab, dst, src *byte, n int)
+//
+// dst[i] ^= mul(src[i]) for i in [0, n), n a positive multiple of 32.
+// The 16-byte nibble product tables are broadcast to both ymm lanes;
+// VPSHUFB shuffles within each lane, so the SSSE3 scheme carries over
+// unchanged at twice the width.
+TEXT ·galMulAddAVX2(SB), NOSPLIT, $0-32
+	MOVQ           tab+0(FP), AX
+	MOVQ           dst+8(FP), DI
+	MOVQ           src+16(FP), SI
+	MOVQ           n+24(FP), CX
+	VBROADCASTI128 (AX), Y6           // low-nibble product table
+	VBROADCASTI128 16(AX), Y7         // high-nibble product table
+	VBROADCASTI128 nibbleMask<>(SB), Y5
+
+mulAddLoop32:
+	VMOVDQU (SI), Y0
+	VPSRLQ  $4, Y0, Y1
+	VPAND   Y5, Y0, Y0                // low nibbles
+	VPAND   Y5, Y1, Y1                // high nibbles
+	VPSHUFB Y0, Y6, Y2                // products of low nibbles
+	VPSHUFB Y1, Y7, Y3                // products of high nibbles
+	VPXOR   Y3, Y2, Y2
+	VPXOR   (DI), Y2, Y2
+	VMOVDQU Y2, (DI)
+	ADDQ    $32, SI
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     mulAddLoop32
+	VZEROUPPER
+	RET
+
+// func galMulAVX2(tab, row *byte, n int)
+//
+// row[i] = mul(row[i]) for i in [0, n), n a positive multiple of 32.
+TEXT ·galMulAVX2(SB), NOSPLIT, $0-24
+	MOVQ           tab+0(FP), AX
+	MOVQ           row+8(FP), DI
+	MOVQ           n+16(FP), CX
+	VBROADCASTI128 (AX), Y6
+	VBROADCASTI128 16(AX), Y7
+	VBROADCASTI128 nibbleMask<>(SB), Y5
+
+mulLoop32:
+	VMOVDQU (DI), Y0
+	VPSRLQ  $4, Y0, Y1
+	VPAND   Y5, Y0, Y0
+	VPAND   Y5, Y1, Y1
+	VPSHUFB Y0, Y6, Y2
+	VPSHUFB Y1, Y7, Y3
+	VPXOR   Y3, Y2, Y2
+	VMOVDQU Y2, (DI)
+	ADDQ    $32, DI
+	SUBQ    $32, CX
+	JNZ     mulLoop32
+	VZEROUPPER
+	RET

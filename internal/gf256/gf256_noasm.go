@@ -6,8 +6,21 @@ package gf256
 // kernels only.
 const useSSSE3 = false
 const haveSSE2 = false
+const useAVX2 = false
 
 func cpuidFeatureECX() uint32 { return 0 }
+
+func galXorAVX2(dst, src *byte, n int) {
+	panic("gf256: AVX2 kernel called without asm support")
+}
+
+func galMulAddAVX2(tab, dst, src *byte, n int) {
+	panic("gf256: AVX2 kernel called without asm support")
+}
+
+func galMulAVX2(tab, row *byte, n int) {
+	panic("gf256: AVX2 kernel called without asm support")
+}
 
 func galXorSSE2(dst, src *byte, n int) {
 	panic("gf256: SSE2 kernel called without asm support")

@@ -70,6 +70,8 @@ type Network struct {
 	Rec     *telemetry.Recorder
 	rng     *rand.Rand
 	lossRNG *rand.Rand
+	// pktFree is the packet free list behind AllocPacket/FreePacket.
+	pktFree []*Packet
 }
 
 // New creates an empty network with the given configuration.
@@ -135,6 +137,8 @@ func (n *Network) Connect(a, b Node) (pa, pb *Port) {
 		if sw, ok := peer.(*Switch); ok {
 			p.peerSwitch = sw
 		}
+		p.txDone = p.onTxDone
+		p.deliver = p.onDeliver
 		p.index = owner.addPort(p)
 		switch o := owner.(type) {
 		case *Switch:
@@ -195,6 +199,17 @@ type Port struct {
 	up         bool
 	cut        bool // the in-flight frame crossed a down window: lose it
 	lossRate   float64
+
+	// Serialization and propagation state. A port serializes one frame
+	// at a time (txPkt) and its propagation delay is constant, so frames
+	// in flight arrive strictly in emission order (flight is FIFO). That
+	// invariant lets kick reuse two per-port callbacks (txDone, deliver)
+	// instead of allocating fresh closures for every packet — the
+	// simulator's hottest allocation site before the packet pool.
+	txPkt   *Packet
+	flight  fifo
+	txDone  func()
+	deliver func()
 
 	TxPackets int64
 	TxBytes   int64
@@ -281,11 +296,15 @@ func (p *Port) Send(pkt *Packet) {
 	if !p.up {
 		p.Lost++
 		p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvLinkDrop, -1, p.label)
+		p.net.FreePacket(pkt)
 		return
 	}
 	if !p.queue.Enqueue(pkt) {
-		// Dropped; counted by the queue.
+		// Dropped; counted by the queue. Enqueue reporting false means
+		// the packet was kept in no form (a trim keeps the header), so
+		// this reference is the last one.
 		p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvQueueDrop, -1, p.label)
+		p.net.FreePacket(pkt)
 		return
 	}
 	p.kick()
@@ -296,6 +315,8 @@ func (p *Port) Send(pkt *Packet) {
 // down link never starts a frame; a link that goes down mid-frame
 // loses that frame (checked when serialization completes) and parks
 // the rest of the queue until SetUp re-kicks.
+//
+//polyvet:noalloc runs per transmitted packet; the reused txDone/deliver callbacks keep it closure-free
 func (p *Port) kick() {
 	if p.busy || !p.up {
 		return
@@ -305,30 +326,47 @@ func (p *Port) kick() {
 		return
 	}
 	p.busy = true
+	p.txPkt = pkt
 	tx := sim.Time(int64(pkt.Size) * 8 * 1e9 / p.rate)
-	p.net.Eng.After(tx, func() {
-		p.busy = false
-		if p.cut || !p.up {
-			// The link failed at some point while this frame was on
-			// the wire (it may have already recovered): the frame is
-			// cut. kick() resumes the queue if the link is back up and
-			// is a no-op while it is still down (recovery re-kicks).
-			p.cut = false
-			p.Lost++
-			p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvLinkDrop, -1, p.label)
-			p.kick()
-			return
-		}
-		p.TxPackets++
-		p.TxBytes += int64(pkt.Size)
-		if p.lossRate > 0 && p.net.lossRNG.Float64() < p.lossRate {
-			p.Lost++ // corrupted on a lossy link
-			p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvLinkDrop, -1, p.label)
-		} else {
-			p.net.Eng.After(p.delay, func() { p.peer.Receive(pkt) })
-		}
+	p.net.Eng.After(tx, p.txDone)
+}
+
+// onTxDone completes serialization of the frame on the wire: account
+// for it, apply link faults, and hand survivors to propagation.
+func (p *Port) onTxDone() {
+	pkt := p.txPkt
+	p.txPkt = nil
+	p.busy = false
+	if p.cut || !p.up {
+		// The link failed at some point while this frame was on
+		// the wire (it may have already recovered): the frame is
+		// cut. kick() resumes the queue if the link is back up and
+		// is a no-op while it is still down (recovery re-kicks).
+		p.cut = false
+		p.Lost++
+		p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvLinkDrop, -1, p.label)
+		p.net.FreePacket(pkt)
 		p.kick()
-	})
+		return
+	}
+	p.TxPackets++
+	p.TxBytes += int64(pkt.Size)
+	if p.lossRate > 0 && p.net.lossRNG.Float64() < p.lossRate {
+		p.Lost++ // corrupted on a lossy link
+		p.net.Rec.RecordLabel(p.net.Eng.Now(), pkt.Flow, telemetry.EvLinkDrop, -1, p.label)
+		p.net.FreePacket(pkt)
+	} else {
+		p.flight.push(pkt)
+		p.net.Eng.After(p.delay, p.deliver)
+	}
+	p.kick()
+}
+
+// onDeliver completes propagation of the oldest in-flight frame. The
+// FIFO matches deliveries to packets because the delay is constant and
+// the engine fires simultaneous events in scheduling order.
+func (p *Port) onDeliver() {
+	p.peer.Receive(p.flight.pop())
 }
 
 // Switch is an output-queued switch. Route supplies the candidate
@@ -406,15 +444,20 @@ func (s *Switch) Receive(pkt *Packet) {
 	if s.down {
 		s.RouteDrops++
 		s.net.Rec.RecordLabel(s.net.Eng.Now(), pkt.Flow, telemetry.EvRouteDrop, -1, s.Name)
+		s.net.FreePacket(pkt)
 		return
 	}
 	if pkt.Group >= 0 {
 		outs := s.Mcast[pkt.Group]
+		if len(outs) == 0 {
+			s.net.FreePacket(pkt) // pruned-empty tree at this switch
+			return
+		}
 		for i, out := range outs {
 			if i == len(outs)-1 {
 				s.Ports[out].Send(pkt) // last copy moves, not clones
 			} else {
-				s.Ports[out].Send(pkt.clone())
+				s.Ports[out].Send(s.net.clonePacket(pkt))
 			}
 		}
 		return
@@ -426,6 +469,7 @@ func (s *Switch) Receive(pkt *Packet) {
 	if len(cands) == 0 {
 		s.RouteDrops++
 		s.net.Rec.RecordLabel(s.net.Eng.Now(), pkt.Flow, telemetry.EvRouteDrop, -1, s.Name)
+		s.net.FreePacket(pkt)
 		return
 	}
 	var out int

@@ -103,8 +103,38 @@ func (p *Packet) trim() {
 	p.Size = HeaderSize
 }
 
-// clone returns a copy for multicast replication.
-func (p *Packet) clone() *Packet {
-	cp := *p
-	return &cp
+// AllocPacket returns a zeroed packet, reusing one retired via
+// FreePacket when possible. The simulation is single-threaded, so a
+// plain LIFO free list is both faster and more deterministic than
+// sync.Pool (no per-P caches, no GC-cycle eviction). Transports
+// allocate every outbound packet here so long experiments run the
+// packet path allocation-free at steady state.
+func (n *Network) AllocPacket() *Packet {
+	if l := len(n.pktFree); l > 0 {
+		p := n.pktFree[l-1]
+		n.pktFree = n.pktFree[:l-1]
+		*p = Packet{}
+		return p
+	}
+	return &Packet{}
+}
+
+// FreePacket retires a packet to the network's free list. The caller
+// must hold the packet's only live reference: the next AllocPacket may
+// hand it out again. The network itself retires every packet it
+// destroys (down-link and queue drops, cut frames, lossy-link losses,
+// blackholes); transports retire delivered packets once dispatch
+// returns. Freeing nil is a no-op so drop paths need no guards.
+func (n *Network) FreePacket(p *Packet) {
+	if p == nil {
+		return
+	}
+	n.pktFree = append(n.pktFree, p)
+}
+
+// clonePacket copies p for multicast replication through the pool.
+func (n *Network) clonePacket(p *Packet) *Packet {
+	cp := n.AllocPacket()
+	*cp = *p
+	return cp
 }

@@ -204,15 +204,15 @@ func (rs *receiverSession) sendDoneCtrl() {
 			continue
 		}
 		rs.sys.Net.Rec.Record(rs.sys.Net.Now(), rs.flow, telemetry.EvCtrl, int32(rs.receiver), int64(dst))
-		rs.sys.Agents[rs.receiver].host.Send(&netsim.Packet{
-			Flow:  rs.flow,
-			Kind:  netsim.KindCtrl,
-			Size:  netsim.HeaderSize,
-			Src:   int32(rs.receiver),
-			Dst:   dst,
-			Group: -1,
-			Spray: true,
-		})
+		ctrl := rs.sys.Net.AllocPacket()
+		ctrl.Flow = rs.flow
+		ctrl.Kind = netsim.KindCtrl
+		ctrl.Size = netsim.HeaderSize
+		ctrl.Src = int32(rs.receiver)
+		ctrl.Dst = dst
+		ctrl.Group = -1
+		ctrl.Spray = true
+		rs.sys.Agents[rs.receiver].host.Send(ctrl)
 	}
 }
 

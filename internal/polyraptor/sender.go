@@ -87,16 +87,15 @@ func (ss *senderSession) sendInitialWindow() {
 // for straggler tails).
 func (ss *senderSession) emit(esi int64, to int32) {
 	ss.emitted++
-	pkt := &netsim.Packet{
-		Flow:   ss.flow,
-		Kind:   netsim.KindData,
-		Size:   netsim.DataSize,
-		Src:    ss.sys.Agents[ss.src].host.ID,
-		Group:  -1,
-		Spray:  true,
-		Seq:    esi,
-		Sender: ss.senderIdx,
-	}
+	pkt := ss.sys.Net.AllocPacket()
+	pkt.Flow = ss.flow
+	pkt.Kind = netsim.KindData
+	pkt.Size = netsim.DataSize
+	pkt.Src = ss.sys.Agents[ss.src].host.ID
+	pkt.Group = -1
+	pkt.Spray = true
+	pkt.Seq = esi
+	pkt.Sender = ss.senderIdx
 	switch {
 	case to >= 0:
 		pkt.Dst = to

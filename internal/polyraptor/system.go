@@ -326,10 +326,12 @@ type Agent struct {
 	sendSess map[int32]*senderSession
 	recvSess map[int32]*receiverSession
 
-	// Pull pacer state.
+	// Pull pacer state. drainFn is the bound drainPull callback,
+	// created once so per-pull pacing never allocates a method value.
 	pullQ    []pullReq
 	pullHead int
 	pacing   bool
+	drainFn  func()
 }
 
 type pullReq struct {
@@ -344,6 +346,7 @@ func newAgent(sys *System, host *netsim.Host) *Agent {
 		sendSess: make(map[int32]*senderSession),
 		recvSess: make(map[int32]*receiverSession),
 	}
+	a.drainFn = a.drainPull
 	host.Deliver = a.deliver
 	return a
 }
@@ -366,15 +369,15 @@ func (a *Agent) deliver(pkt *netsim.Packet) {
 		if sess, ok := a.sendSess[pkt.Flow]; ok {
 			sess.onReceiverDone(pkt.Src)
 		}
-		a.host.Send(&netsim.Packet{
-			Flow:  pkt.Flow,
-			Kind:  netsim.KindAck,
-			Size:  netsim.HeaderSize,
-			Src:   a.host.ID,
-			Dst:   pkt.Src,
-			Group: -1,
-			Spray: true,
-		})
+		ack := a.sys.Net.AllocPacket()
+		ack.Flow = pkt.Flow
+		ack.Kind = netsim.KindAck
+		ack.Size = netsim.HeaderSize
+		ack.Src = a.host.ID
+		ack.Dst = pkt.Src
+		ack.Group = -1
+		ack.Spray = true
+		a.host.Send(ack)
 	case netsim.KindAck:
 		// Sender's acknowledgement of our completion ctrl.
 		if sess, ok := a.recvSess[pkt.Flow]; ok {
@@ -383,6 +386,10 @@ func (a *Agent) deliver(pkt *netsim.Packet) {
 	default:
 		panic(fmt.Sprintf("polyraptor: unknown packet kind %v", pkt.Kind))
 	}
+	// Dispatch done: the packet's journey ends here, recycle it. Every
+	// handler above reads fields synchronously and never retains the
+	// pointer, so this is the last live reference.
+	a.sys.Net.FreePacket(pkt)
 }
 
 // enqueuePull adds one pull credit to the host's shared queue and
@@ -409,17 +416,17 @@ func (a *Agent) drainPull() {
 			continue
 		}
 		a.sys.Net.Rec.Record(a.sys.Net.Now(), req.flow, telemetry.EvPull, a.host.ID, int64(req.dst))
-		a.host.Send(&netsim.Packet{
-			Flow:  req.flow,
-			Kind:  netsim.KindPull,
-			Size:  netsim.HeaderSize,
-			Src:   a.host.ID,
-			Dst:   req.dst,
-			Group: -1,
-			Spray: true,
-		})
+		pull := a.sys.Net.AllocPacket()
+		pull.Flow = req.flow
+		pull.Kind = netsim.KindPull
+		pull.Size = netsim.HeaderSize
+		pull.Src = a.host.ID
+		pull.Dst = req.dst
+		pull.Group = -1
+		pull.Spray = true
+		a.host.Send(pull)
 		interval := sim.Time(int64(netsim.DataSize) * 8 * 1e9 / a.sys.Net.Cfg.LinkRate)
-		a.sys.Net.Eng.After(interval, a.drainPull)
+		a.sys.Net.Eng.After(interval, a.drainFn)
 		return
 	}
 	a.pullQ = a.pullQ[:0]

@@ -3,6 +3,7 @@ package raptorq
 import (
 	"errors"
 	"fmt"
+	"slices"
 
 	"polyraptor/internal/gf256"
 )
@@ -28,6 +29,22 @@ var ErrNeedMoreSymbols = errors.New("raptorq: need more symbols")
 // Decode may be retried after adding more symbols if it fails with
 // ErrSingular (probability ~1e-2 at zero overhead, falling roughly two
 // decades per additional symbol).
+//
+// Decoding is layered by how much work the received set actually
+// requires:
+//
+//   - all K source symbols present: no matrix work at all;
+//   - few missing sources (m <= partialMaxMissing): the partial-
+//     systematic path back-substitutes repair equations against the
+//     received sources and solves only an m x m system (see
+//     partial.go);
+//   - otherwise: the full inactivation solve, with the recorded
+//     elimination cached per (K, received-ESI set) so repeated loss
+//     patterns replay at kernel speed (see schedule.go).
+//
+// A Decoder can be reused for many blocks via Reset; in the steady
+// state (same K, same symbol size, recurring loss shape) the whole
+// AddSymbol/Decode cycle allocates nothing.
 type Decoder struct {
 	p    Params
 	t    int
@@ -35,6 +52,39 @@ type Decoder struct {
 	// srcHave counts received symbols with esi < K (systematic fast path).
 	srcHave int
 	decoded [][]byte
+
+	// cache holds recorded decode eliminations keyed by the received
+	// pattern; shared across decoders (tests may inject their own).
+	cache *decodeSchedCache
+
+	// Intake arena: received symbols are copied into symBuf chunks
+	// instead of one allocation each. The chunk doubles when it fills,
+	// so after one warm round Reset reuses a chunk big enough for the
+	// whole block and intake allocates nothing. Grown chunks abandon
+	// (never copy) the old buffer — symbols already handed to recv keep
+	// their old backing.
+	symBuf []byte
+	symOff int
+
+	// Reused solve scratch (see partial.go for the partial-path pieces).
+	out       [][]byte
+	outBuf    []byte
+	esiBuf    []uint32
+	ltScratch []int32
+	slots     slotArena // symbol-width replay slots
+	lanes     slotArena // lane-width replay slots (partial path)
+	coefBuf   []byte
+	rhsBuf    []byte
+	eqRows    [][]byte
+	eqSymRows [][]byte
+	rowOfCol  []int
+	missBuf   []uint32
+
+	// Test hooks: force one decode path regardless of eligibility.
+	// forcePartial also disables the fall-back to the full solver so
+	// differential tests observe the partial path's own verdict.
+	forceFull    bool
+	forcePartial bool
 }
 
 // NewDecoder creates a decoder for a block of k source symbols of the
@@ -47,7 +97,23 @@ func NewDecoder(k, symbolSize int) (*Decoder, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Decoder{p: p, t: symbolSize, recv: make(map[uint32][]byte, k+2)}, nil
+	return &Decoder{
+		p:     p,
+		t:     symbolSize,
+		recv:  make(map[uint32][]byte, k+2),
+		cache: defaultDecodeSchedCache,
+	}, nil
+}
+
+// Reset returns the decoder to its empty state for a new block with
+// the same (K, symbol size), retaining every internal buffer — the
+// steady-state path allocates nothing. All symbol slices previously
+// returned by Decode or Source are invalidated.
+func (d *Decoder) Reset() {
+	clear(d.recv)
+	d.srcHave = 0
+	d.decoded = nil
+	d.symOff = 0
 }
 
 // K returns the number of source symbols in the block.
@@ -65,13 +131,38 @@ func (d *Decoder) AddSymbol(esi uint32, data []byte) (bool, error) {
 	if _, dup := d.recv[esi]; dup {
 		return false, nil
 	}
-	cp := make([]byte, d.t)
-	copy(cp, data)
-	d.recv[esi] = cp
+	d.recv[esi] = d.storeSym(data)
 	if int(esi) < d.p.K {
 		d.srcHave++
 	}
 	return true, nil
+}
+
+// storeSym copies data into the intake arena and returns the stable
+// copy.
+//
+//polyvet:noalloc per-symbol intake; the chunk-grow path is split out cold
+func (d *Decoder) storeSym(data []byte) []byte {
+	if d.symOff+d.t > len(d.symBuf) {
+		d.growSymBuf()
+	}
+	out := d.symBuf[d.symOff : d.symOff+d.t : d.symOff+d.t]
+	d.symOff += d.t
+	copy(out, data)
+	return out
+}
+
+// growSymBuf starts a fresh, larger intake chunk. The old chunk is
+// abandoned, not copied: symbols already stored keep referencing it.
+//
+//go:noinline
+func (d *Decoder) growSymBuf() {
+	n := 2 * len(d.symBuf)
+	if min := 64 * d.t; n < min {
+		n = min
+	}
+	d.symBuf = make([]byte, n)
+	d.symOff = 0
 }
 
 // Received returns the number of distinct encoding symbols held.
@@ -100,51 +191,176 @@ func (d *Decoder) Source(esi uint32) []byte {
 }
 
 // Decode attempts to reconstruct all K source symbols. On success the
-// result is cached and returned on subsequent calls. It returns
-// ErrNeedMoreSymbols when fewer than K symbols are held and
-// ErrSingular when the held set does not have full rank (add more
-// symbols and retry).
+// result is cached and returned on subsequent calls (and invalidated
+// by Reset). It returns ErrNeedMoreSymbols when fewer than K symbols
+// are held and ErrSingular when the held set does not have full rank
+// (add more symbols and retry).
 func (d *Decoder) Decode() ([][]byte, error) {
 	if d.decoded != nil {
 		return d.decoded, nil
 	}
-	if d.srcHave == d.p.K {
+	k := d.p.K
+	out := d.outSlice()
+	if d.srcHave == k {
 		// Pure systematic delivery: no matrix work at all.
-		out := make([][]byte, d.p.K)
-		for i := 0; i < d.p.K; i++ {
+		for i := 0; i < k; i++ {
 			out[i] = d.recv[uint32(i)]
 		}
 		d.decoded = out
 		return out, nil
 	}
-	if len(d.recv) < d.p.K {
+	if len(d.recv) < k {
 		return nil, ErrNeedMoreSymbols
 	}
-	sol := newSolver(d.p.L, d.t)
-	addConstraintRows(sol, d.p)
-	var scratch []int32 // reused LT expansion; addBinaryRow copies it
-	//polyvet:orderfree row insertion order cannot change the unique full-rank solution (only operation counts); sorting K+overhead ESIs per decode would tax the codec hot path
-	for esi, sym := range d.recv {
-		scratch = d.p.AppendLTIndices(scratch[:0], esi)
-		sol.addBinaryRow(scratch, sym)
+	m := k - d.srcHave
+	if !d.forceFull && (d.forcePartial || m <= partialMaxMissing(k)) {
+		err := d.decodePartial(out, m)
+		if err == nil {
+			d.decoded = out
+			return out, nil
+		}
+		if d.forcePartial {
+			return nil, err
+		}
+		// Fall through to the full solver: the partial path caps how
+		// many repair rows it considers, so it can miss rank the full
+		// system still has.
 	}
-	c, err := sol.solve()
-	if err != nil {
+	if err := d.decodeFull(out); err != nil {
 		return nil, err
 	}
-	out := make([][]byte, d.p.K)
-	for i := 0; i < d.p.K; i++ {
+	d.decoded = out
+	return out, nil
+}
+
+// outSlice returns the reused K-wide result slice, cleared.
+func (d *Decoder) outSlice() [][]byte {
+	if cap(d.out) < d.p.K {
+		d.out = make([][]byte, d.p.K)
+	}
+	d.out = d.out[:d.p.K]
+	clear(d.out)
+	return d.out
+}
+
+// sortedESIs collects the received ESIs in ascending order into the
+// reused scratch slice.
+func (d *Decoder) sortedESIs() []uint32 {
+	esis := d.esiBuf[:0]
+	//polyvet:orderfree collection order is erased by the sort below
+	for esi := range d.recv {
+		esis = append(esis, esi)
+	}
+	slices.Sort(esis)
+	d.esiBuf = esis
+	return esis
+}
+
+// decodeFull runs the full inactivation decode. The recorded
+// elimination for this exact (K, ESI set) is looked up in the schedule
+// cache; on a hit the solve is a pure replay over arena slots, on a
+// miss the recording solver runs and the schedule is cached for next
+// time. Slot layout for the decode system: S LDPC rows (zero RHS),
+// the received symbols in ascending-ESI order, H HDPC rows (zero RHS).
+func (d *Decoder) decodeFull(out [][]byte) error {
+	esis := d.sortedESIs()
+	k := d.p.K
+	if sched := d.cache.get(k, esis); sched != nil {
+		s, n := d.p.S, len(esis)
+		syms := d.slots.slots(sched.nSlots, d.t)
+		for i := 0; i < s; i++ {
+			clear(syms[i])
+		}
+		for i, esi := range esis {
+			copy(syms[s+i], d.recv[esi])
+		}
+		for i := s + n; i < sched.nSlots; i++ {
+			clear(syms[i])
+		}
+		sched.replay(syms)
+		d.fillFromSlots(out, syms, sched.outSlot)
+		return nil
+	}
+	sol := newSolver(d.p.L, d.t)
+	sol.record = true
+	addConstraintRows(sol, d.p)
+	scratch := d.ltScratch
+	for _, esi := range esis {
+		scratch = d.p.AppendLTIndices(scratch[:0], esi)
+		sol.addBinaryRow(scratch, d.recv[esi])
+	}
+	d.ltScratch = scratch
+	c, err := sol.solve()
+	if err != nil {
+		return err
+	}
+	d.cache.put(k, esis, sol.sched)
+	d.fillFromCols(out, c)
+	return nil
+}
+
+// fillFromSlots assembles the source symbols after a schedule replay:
+// received sources come straight from the intake store, missing ones
+// are regenerated by LT expansion over the intermediate slots into the
+// reused output arena.
+//
+//polyvet:noalloc steady-state decode assembly over reused buffers
+func (d *Decoder) fillFromSlots(out, syms [][]byte, outSlot []int32) {
+	k := d.p.K
+	buf := d.regenBuf(k - d.srcHave)
+	off := 0
+	scratch := d.ltScratch
+	for i := 0; i < k; i++ {
 		if sym, ok := d.recv[uint32(i)]; ok {
 			out[i] = sym
 			continue
 		}
-		buf := make([]byte, d.t)
+		dst := buf[off : off+d.t : off+d.t]
+		off += d.t
+		clear(dst)
 		scratch = d.p.AppendLTIndices(scratch[:0], uint32(i))
 		for _, col := range scratch {
-			gf256.AddRow(buf, c[col])
+			gf256.AddRow(dst, syms[outSlot[col]])
 		}
-		out[i] = buf
+		out[i] = dst
 	}
-	d.decoded = out
-	return out, nil
+	d.ltScratch = scratch
+}
+
+// fillFromCols is fillFromSlots for the recording-solver path, where
+// the intermediates are addressed by column directly.
+func (d *Decoder) fillFromCols(out [][]byte, c [][]byte) {
+	k := d.p.K
+	buf := d.regenBuf(k - d.srcHave)
+	off := 0
+	scratch := d.ltScratch
+	for i := 0; i < k; i++ {
+		if sym, ok := d.recv[uint32(i)]; ok {
+			out[i] = sym
+			continue
+		}
+		dst := buf[off : off+d.t : off+d.t]
+		off += d.t
+		scratch = d.p.AppendLTIndices(scratch[:0], uint32(i))
+		for _, col := range scratch {
+			gf256.AddRow(dst, c[col])
+		}
+		out[i] = dst
+	}
+	d.ltScratch = scratch
+}
+
+// regenBuf returns the reused backing store for m regenerated source
+// symbols, zeroed. noinline keeps its grow allocation out of annotated
+// callers under the compiler-verified gate.
+//
+//go:noinline
+func (d *Decoder) regenBuf(m int) []byte {
+	need := m * d.t
+	if cap(d.outBuf) < need {
+		d.outBuf = make([]byte, need)
+	}
+	d.outBuf = d.outBuf[:need]
+	clear(d.outBuf)
+	return d.outBuf
 }

@@ -1,0 +1,276 @@
+package raptorq
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// Differential tests for the layered decode pipeline: the partial-
+// systematic path (partial.go) must produce byte-identical output to
+// the full inactivation solver on every loss pattern, and the block-
+// parallel object front-end must be indistinguishable from its serial
+// schedule. Both families run under -race in CI's sweep job.
+
+// lossPattern names a deterministic choice of missing source rows.
+type lossPattern struct {
+	name string
+	rows func(k, m int) []int
+}
+
+var lossPatterns = []lossPattern{
+	{"prefix", func(k, m int) []int {
+		rows := make([]int, m)
+		for i := range rows {
+			rows[i] = i
+		}
+		return rows
+	}},
+	{"suffix", func(k, m int) []int {
+		rows := make([]int, m)
+		for i := range rows {
+			rows[i] = k - m + i
+		}
+		return rows
+	}},
+	{"stride", func(k, m int) []int {
+		// Evenly spread: adversarial for peeling because every loss
+		// lands in a different neighbourhood of the LT graph.
+		rows := make([]int, m)
+		step := k / m
+		for i := range rows {
+			rows[i] = i * step
+		}
+		return rows
+	}},
+	{"middle-run", func(k, m int) []int {
+		// One contiguous burst centred in the block — the classic
+		// tail-drop shape.
+		rows := make([]int, m)
+		start := (k - m) / 2
+		for i := range rows {
+			rows[i] = start + i
+		}
+		return rows
+	}},
+}
+
+// decodeWith runs one decode of the given received set with the decoder
+// pinned to a single path.
+func decodeWith(t *testing.T, k, symSize int, enc *Encoder, missing []int, repairs int, partial bool) ([][]byte, error) {
+	t.Helper()
+	dec, err := NewDecoder(k, symSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.forceFull = !partial
+	dec.forcePartial = partial
+	gone := make(map[int]bool, len(missing))
+	for _, r := range missing {
+		gone[r] = true
+	}
+	for i := 0; i < k; i++ {
+		if gone[i] {
+			continue
+		}
+		if _, err := dec.AddSymbol(uint32(i), enc.Symbol(uint32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < repairs; r++ {
+		esi := uint32(k + r)
+		if _, err := dec.AddSymbol(esi, enc.Symbol(esi)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dec.Decode()
+}
+
+// TestPartialMatchesFullDifferential sweeps (K, loss fraction, loss
+// pattern) — including adversarial masks and random masks — and
+// asserts the partial-systematic decode is byte-identical to the full
+// solver, which in turn must reproduce the source exactly.
+func TestPartialMatchesFullDifferential(t *testing.T) {
+	const symSize = 64
+	for _, k := range []int{16, 64, 256} {
+		rng := rand.New(rand.NewSource(int64(1000 + k)))
+		source := make([][]byte, k)
+		for i := range source {
+			source[i] = make([]byte, symSize)
+			rng.Read(source[i])
+		}
+		enc, err := NewEncoder(source)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		type cse struct {
+			name    string
+			missing []int
+		}
+		var cases []cse
+		counts := []int{1, 2, k / 16, k / 8, k / 4}
+		for _, m := range counts {
+			if m < 1 || m > k {
+				continue
+			}
+			for _, pat := range lossPatterns {
+				cases = append(cases, cse{pat.name, pat.rows(k, m)})
+			}
+			// Random masks: three seeds per loss count.
+			for s := 0; s < 3; s++ {
+				perm := rng.Perm(k)[:m]
+				cases = append(cases, cse{"random", perm})
+			}
+		}
+		for _, c := range cases {
+			m := len(c.missing)
+			repairs := m + partialExtraRows
+			full, errFull := decodeWith(t, k, symSize, enc, c.missing, repairs, false)
+			part, errPart := decodeWith(t, k, symSize, enc, c.missing, repairs, true)
+			if errFull != nil {
+				t.Fatalf("k=%d %s m=%d: full solver failed: %v", k, c.name, m, errFull)
+			}
+			if errPart != nil {
+				// The partial path caps its repair subset; a rank-deficient
+				// subset is legal (Decode would fall back) but with
+				// partialExtraRows spare equations it should not happen on
+				// these fixed seeds.
+				if errors.Is(errPart, ErrSingular) {
+					t.Fatalf("k=%d %s m=%d: partial path rank-deficient", k, c.name, m)
+				}
+				t.Fatalf("k=%d %s m=%d: partial path failed: %v", k, c.name, m, errPart)
+			}
+			for i := 0; i < k; i++ {
+				if !bytes.Equal(full[i], source[i]) {
+					t.Fatalf("k=%d %s m=%d: full decode corrupt at %d", k, c.name, m, i)
+				}
+				if !bytes.Equal(part[i], full[i]) {
+					t.Fatalf("k=%d %s m=%d: partial != full at symbol %d:\n  partial %x\n  full    %x",
+						k, c.name, m, i, part[i], full[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPartialReusedDecoderDifferential drives one reused decoder
+// through many Reset cycles with varying loss patterns, comparing
+// against fresh full-solver decodes each time — the steady-state arena
+// reuse must never leak bytes between blocks.
+func TestPartialReusedDecoderDifferential(t *testing.T) {
+	const k, symSize = 64, 48
+	dec, err := NewDecoder(k, symSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.forcePartial = true
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 20; round++ {
+		source := make([][]byte, k)
+		for i := range source {
+			source[i] = make([]byte, symSize)
+			rng.Read(source[i])
+		}
+		enc, err := NewEncoder(source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := 1 + rng.Intn(k/8)
+		missing := rng.Perm(k)[:m]
+		gone := make(map[int]bool, m)
+		for _, r := range missing {
+			gone[r] = true
+		}
+		dec.Reset()
+		for i := 0; i < k; i++ {
+			if !gone[i] {
+				dec.AddSymbol(uint32(i), enc.Symbol(uint32(i)))
+			}
+		}
+		for r := 0; r < m+partialExtraRows; r++ {
+			dec.AddSymbol(uint32(k+r), enc.Symbol(uint32(k+r)))
+		}
+		part, err := dec.Decode()
+		if err != nil {
+			t.Fatalf("round %d m=%d: %v", round, m, err)
+		}
+		full, err := decodeWith(t, k, symSize, enc, missing, m+partialExtraRows, false)
+		if err != nil {
+			t.Fatalf("round %d m=%d: full solver: %v", round, m, err)
+		}
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(part[i], full[i]) || !bytes.Equal(full[i], source[i]) {
+				t.Fatalf("round %d m=%d: mismatch at symbol %d", round, m, i)
+			}
+		}
+	}
+}
+
+// TestObjectParallelIdenticalToSerial checks that the block-parallel
+// object encoder and decoder produce byte-identical results to their
+// serial schedules (worker count must change wall-clock only). Runs
+// under -race in CI.
+func TestObjectParallelIdenticalToSerial(t *testing.T) {
+	const symSize, maxK = 128, 32
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 100_000) // ~25 blocks
+	rng.Read(data)
+
+	serial, err := NewObjectEncoderWorkers(data, symSize, maxK, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewObjectEncoderWorkers(data, symSize, maxK, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := serial.Layout()
+	if layout.Z() != parallel.Layout().Z() {
+		t.Fatalf("layouts differ: %d vs %d blocks", layout.Z(), parallel.Layout().Z())
+	}
+	for sbn, k := range layout.K {
+		for esi := uint32(0); esi < uint32(k)+4; esi++ {
+			if !bytes.Equal(serial.Symbol(sbn, esi), parallel.Symbol(sbn, esi)) {
+				t.Fatalf("block %d symbol %d differs between worker counts", sbn, esi)
+			}
+		}
+	}
+
+	// Decode with 30% source loss, serial vs parallel workers.
+	decode := func(workers int) []byte {
+		dec, err := NewObjectDecoder(layout)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec.SetWorkers(workers)
+		lossRNG := rand.New(rand.NewSource(11))
+		for sbn, k := range layout.K {
+			got := 0
+			for esi := uint32(0); got < k+2; esi++ {
+				if esi < uint32(k) && lossRNG.Float64() < 0.3 {
+					continue
+				}
+				dec.AddSymbol(sbn, esi, serial.Symbol(sbn, esi))
+				got++
+			}
+		}
+		if !dec.TryDecode() {
+			t.Fatal("object did not decode")
+		}
+		obj, err := dec.Object()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return obj
+	}
+	one := decode(1)
+	many := decode(8)
+	if !bytes.Equal(one, data) {
+		t.Fatal("serial object decode corrupt")
+	}
+	if !bytes.Equal(one, many) {
+		t.Fatal("parallel object decode differs from serial")
+	}
+}

@@ -39,22 +39,57 @@ func addConstraintRows(s *solver, p Params) {
 		}
 		s.addBinaryRow(cols, nil)
 	}
-	// HDPC rows: dense pseudo-random GF(256) coefficients over all
-	// columns before the HDPC identities, plus an identity coefficient
-	// on column L-H+r. RFC 6330 derives these rows from a Gamma matrix
-	// product; a seeded dense random construction has the same decoding
-	// role (it catches the handful of columns the sparse phase cannot
-	// resolve) with failure probability ~2^-8 per missing rank, which
-	// the failure-curve test measures.
+	// HDPC rows: the RFC 6330 §5.3.3.3 MT x Gamma shape. Gamma is the
+	// lower-triangular alpha-power Toeplitz matrix Gamma[j][c] =
+	// alpha^(j-c) (alpha = 2, the field generator) over the L-H columns
+	// before the HDPC identities, and MT is a sparse binary matrix with
+	// two seeded row picks per column, so
+	//
+	//	coeff_r[c] = sum_{j >= c, MT[r][j]=1} alpha^(j-c)
+	//	           = alpha * coeff_r[c+1] + MT[r][c].
+	//
+	// The rows are GF(256)-dense (every decode benefits: they catch the
+	// handful of columns the sparse phase cannot resolve, failure
+	// probability ~2^-8 per missing rank, measured by the failure-curve
+	// test) but carry Horner structure the solver exploits: the whole
+	// dense back-substitution collapses to one shared alpha-weighted
+	// running sum plus two XORs per column instead of H dense
+	// multiply-accumulates per pivot (see emitHornerChain in solver.go).
 	state := hdpcSeed(p)
-	for r := 0; r < p.H; r++ {
+	picks := hdpcPicks(p, &state)
+	for r := int32(0); r < int32(p.H); r++ {
 		coeff := make([]byte, p.L)
-		for j := 0; j < p.L-p.H; j++ {
-			coeff[j] = byte(splitmix64(&state))
+		var acc byte
+		for c := p.L - p.H - 1; c >= 0; c-- {
+			acc = gf256.Mul(acc, 2)
+			if picks[c][0] == r {
+				acc ^= 1
+			}
+			if picks[c][1] == r {
+				acc ^= 1
+			}
+			coeff[c] = acc
 		}
-		coeff[p.L-p.H+r] = 1
+		coeff[p.L-p.H+int(r)] = 1
 		s.addDenseRow(coeff, nil)
 	}
+	s.hornerPicks = picks
+	s.hornerCols = p.L - p.H
+}
+
+// hdpcPicks derives MT's two distinct row picks for every Gamma-region
+// column from the seeded generator. H >= 4 for every K (the
+// choose(H, ceil(H/2)) >= K+S bound), so two distinct picks always
+// exist.
+func hdpcPicks(p Params, state *uint64) [][2]int32 {
+	picks := make([][2]int32, p.L-p.H)
+	for c := range picks {
+		x := splitmix64(state)
+		r1 := int32(x % uint64(p.H))
+		r2 := (r1 + 1 + int32((x>>32)%uint64(p.H-1))) % int32(p.H)
+		picks[c] = [2]int32{r1, r2}
+	}
+	return picks
 }
 
 func hdpcSeed(p Params) uint64 {
@@ -68,11 +103,12 @@ func hdpcSeed(p Params) uint64 {
 //
 // An Encoder is safe for concurrent use after construction: Symbol only
 // reads the intermediate symbols, and the repair-expansion cache is
-// internally synchronised.
+// internally synchronised. Reset, however, must not run concurrently
+// with any other method.
 type Encoder struct {
 	p   Params
 	t   int
-	c   [][]byte   // L intermediate symbols
+	c   [][]byte   // L intermediate symbols (views into the replay arena)
 	src [][]byte   // source symbols (referenced, not copied)
 	mu  sync.Mutex // guards ltRepair
 	// ltRepair memoises LT expansions of repair ESIs. Entries are
@@ -82,6 +118,11 @@ type Encoder struct {
 	// per sender index), while a one-shot unicast stream pays one map
 	// insert per symbol until the cap and nothing after.
 	ltRepair map[uint32][]int32
+
+	// sched is the recorded precode elimination for K (shared, from the
+	// global per-K cache); slots is the arena it replays over.
+	sched *schedule
+	slots slotArena
 }
 
 // ltRepairCacheCap bounds the repair-expansion memo (~a few hundred KB
@@ -93,43 +134,82 @@ const ltRepairCacheCap = 4096
 // retained (not copied); callers must not mutate the symbols while the
 // encoder is in use.
 //
-// Construction solves the L x L precode system; cost is roughly
-// O(K * avg-degree) symbol XORs plus a small dense solve.
+// The L x L precode system is solved by replaying the recorded
+// elimination schedule for K (built once per K and cached), so
+// construction cost is a few thousand GF(256) row kernels rather than
+// a structural Gaussian elimination.
 func NewEncoder(source [][]byte) (*Encoder, error) {
+	e := &Encoder{}
+	if err := e.Reset(source); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Reset re-keys the encoder to a new source block, reusing every
+// internal buffer. When the new block has the same K and symbol size,
+// the steady state allocates nothing: the precode solve is a pure
+// schedule replay over the reused arena. Symbols previously returned
+// by Symbol are unaffected; the intermediate views read by AppendSymbol
+// are rebuilt.
+func (e *Encoder) Reset(source [][]byte) error {
 	k := len(source)
 	if k == 0 {
-		return nil, fmt.Errorf("raptorq: no source symbols")
+		return fmt.Errorf("raptorq: no source symbols")
 	}
 	t := len(source[0])
 	if t == 0 {
-		return nil, fmt.Errorf("raptorq: empty symbols")
+		return fmt.Errorf("raptorq: empty symbols")
 	}
 	for i, s := range source {
 		if len(s) != t {
-			return nil, fmt.Errorf("raptorq: symbol %d has size %d, want %d", i, len(s), t)
+			return fmt.Errorf("raptorq: symbol %d has size %d, want %d", i, len(s), t)
 		}
 	}
-	p, err := NewParams(k)
-	if err != nil {
-		return nil, err
+	if e.sched == nil || k != e.p.K {
+		p, err := NewParams(k)
+		if err != nil {
+			return err
+		}
+		sched, err := precodeSchedule(p)
+		if err != nil {
+			// The systematic index search guarantees an invertible precode,
+			// so this is unreachable unless the cache was poisoned.
+			return fmt.Errorf("raptorq: precode solve failed: %w", err)
+		}
+		e.p = p
+		e.sched = sched
+		e.c = make([][]byte, p.L)
+		e.ltRepair = make(map[uint32][]int32)
 	}
-	sol := newSolver(p.L, t)
-	addConstraintRows(sol, p)
-	var scratch []int32 // reused LT expansion; addBinaryRow copies it
-	for i := 0; i < k; i++ {
-		scratch = p.AppendLTIndices(scratch[:0], uint32(i))
-		sol.addBinaryRow(scratch, source[i])
+	e.t = t
+	e.src = source
+	e.replayPrecode(source)
+	return nil
+}
+
+// replayPrecode computes the L intermediate symbols by replaying the
+// precode schedule over the arena: LDPC and HDPC right-hand sides are
+// zero, the K LT rows carry the source symbols (copied — replay
+// mutates its slots).
+//
+//polyvet:noalloc steady-state precode solve: arena slots plus recorded gf256 kernels
+func (e *Encoder) replayPrecode(source [][]byte) {
+	syms := e.slots.slots(e.sched.nSlots, e.t)
+	s := e.p.S
+	for i := 0; i < s; i++ {
+		clear(syms[i])
 	}
-	c, err := sol.solve()
-	if err != nil {
-		// The systematic index search guarantees an invertible precode,
-		// so this is unreachable unless the cache was poisoned.
-		return nil, fmt.Errorf("raptorq: precode solve failed: %w", err)
+	for i, src := range source {
+		copy(syms[s+i], src)
 	}
-	return &Encoder{
-		p: p, t: t, c: c, src: source,
-		ltRepair: make(map[uint32][]int32),
-	}, nil
+	for i := s + e.p.K; i < e.sched.nSlots; i++ {
+		clear(syms[i])
+	}
+	e.sched.replay(syms)
+	for c, slot := range e.sched.outSlot {
+		e.c[c] = syms[slot]
+	}
 }
 
 // ltIndices returns the memoised LT expansion for a repair ESI. Source

@@ -24,6 +24,14 @@ func FuzzDecode(f *testing.F) {
 	f.Add(uint8(10), uint8(3), int64(42), []byte{0xaa, 0x55, 0xff})
 	f.Add(uint8(13), uint8(5), int64(-9), []byte{0x00, 0xff, 0x0f, 0xf0})
 	f.Add(uint8(32), uint8(2), int64(3), bytes.Repeat([]byte{0xfe}, 12))
+	// Few-missing mask (k=32): all sources but ESI 0, plus two repairs —
+	// lands in the partial-systematic path.
+	f.Add(uint8(31), uint8(4), int64(5), []byte{0xfe, 0xff, 0xff, 0xff, 0x03})
+	// Repair-heavy mask (k=32): no sources at all, 40 repairs — the
+	// full-solver path with a pure-repair equation set.
+	f.Add(uint8(31), uint8(4), int64(6), []byte{0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0xff})
+	// Half-and-half (k=24): alternating sources plus a repair tail.
+	f.Add(uint8(23), uint8(3), int64(8), []byte{0x55, 0x55, 0x55, 0xff, 0xff})
 	f.Fuzz(func(t *testing.T, kb, tb uint8, seed int64, mask []byte) {
 		k := 1 + int(kb)%32
 		symSize := 1 + int(tb)%16
@@ -109,6 +117,92 @@ func FuzzDecode(f *testing.F) {
 		}
 		if out, err := adv.Decode(); err == nil && len(out) != k {
 			t.Fatalf("adversarial Decode returned %d symbols, want %d", len(out), k)
+		}
+	})
+}
+
+// FuzzSchedCache hammers the decode-schedule cache with a tiny
+// capacity so eviction and re-recording churn constantly: a reused
+// decoder with an injected 1-3 entry cache decodes a stream of
+// mask-derived loss patterns, and every successful decode must still
+// reproduce the source exactly while the cache never exceeds its
+// capacity. This is the satellite fuzz target for the factorization-
+// cache layer; the name is distinct from FuzzDecode so `go test
+// -fuzz=FuzzDecode` keeps selecting exactly one target.
+func FuzzSchedCache(f *testing.F) {
+	f.Add(uint8(4), uint8(0), int64(1), []byte{0x01, 0x02, 0x03})
+	f.Add(uint8(9), uint8(1), int64(2), []byte{0xff, 0x00, 0xff, 0x00})
+	f.Add(uint8(15), uint8(2), int64(3), []byte{0x10, 0x20, 0x30, 0x40, 0x50})
+	f.Add(uint8(7), uint8(0), int64(4), bytes.Repeat([]byte{0xab}, 16))
+	f.Fuzz(func(t *testing.T, kb, capb uint8, seed int64, rounds []byte) {
+		k := 4 + int(kb)%16
+		const symSize = 8
+		cache := newDecodeSchedCache(1 + int(capb)%3)
+
+		state := uint64(seed)*0x9e3779b97f4a7c15 + 1
+		next := func() byte {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			return byte(state)
+		}
+		source := make([][]byte, k)
+		for i := range source {
+			source[i] = make([]byte, symSize)
+			for j := range source[i] {
+				source[i][j] = next()
+			}
+		}
+		enc, err := NewEncoder(source)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := NewDecoder(k, symSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec.cache = cache
+		dec.forceFull = true // the cache serves the full-solver path
+
+		if len(rounds) > 32 {
+			rounds = rounds[:32]
+		}
+		for _, b := range rounds {
+			dec.Reset()
+			// Drop the source rows selected by b's bits (cyclically), and
+			// cover each drop with a repair symbol.
+			dropped := 0
+			for i := 0; i < k; i++ {
+				if b&(1<<(i%8)) != 0 {
+					dropped++
+					continue
+				}
+				if _, err := dec.AddSymbol(uint32(i), enc.Symbol(uint32(i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for r := 0; r < dropped+1; r++ {
+				esi := uint32(k + int(b)%5 + r) // shift the repair window too
+				if _, err := dec.AddSymbol(esi, enc.Symbol(esi)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			out, err := dec.Decode()
+			switch {
+			case err == nil:
+				for i := range out {
+					if !bytes.Equal(out[i], source[i]) {
+						t.Fatalf("cache churn corrupted symbol %d: got %x want %x", i, out[i], source[i])
+					}
+				}
+			case errors.Is(err, ErrSingular):
+				// Legal at +1 overhead; the next round resets anyway.
+			default:
+				t.Fatalf("Decode: unexpected error %v", err)
+			}
+			if got, max := cache.len(), cache.cap; got > max {
+				t.Fatalf("cache holds %d entries, cap %d", got, max)
+			}
 		}
 	})
 }

@@ -3,6 +3,9 @@ package raptorq
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 )
 
 // Object-level framing: a large object is split into Z source blocks
@@ -80,15 +83,26 @@ type ObjectEncoder struct {
 // NewObjectEncoder partitions data into blocks of at most maxK symbols
 // of size t and builds per-block encoders. The final symbol of the
 // final block is zero-padded; the layout records the true object size
-// so decoding strips the padding.
+// so decoding strips the padding. Block encoders are built on a worker
+// pool sized to GOMAXPROCS; use NewObjectEncoderWorkers to control it.
 func NewObjectEncoder(data []byte, t, maxK int) (*ObjectEncoder, error) {
+	return NewObjectEncoderWorkers(data, t, maxK, 0)
+}
+
+// NewObjectEncoderWorkers is NewObjectEncoder with an explicit worker
+// count for the per-block precode solves; workers <= 0 selects
+// GOMAXPROCS. Source blocks are independent, and results are placed by
+// block index, so the produced encoder is identical for every worker
+// count — parallelism changes wall-clock only, never output.
+func NewObjectEncoderWorkers(data []byte, t, maxK, workers int) (*ObjectEncoder, error) {
 	layout, err := NewBlockLayout(int64(len(data)), t, maxK)
 	if err != nil {
 		return nil, err
 	}
-	enc := &ObjectEncoder{layout: layout}
+	z := layout.Z()
+	srcs := make([][][]byte, z)
 	off := 0
-	for _, k := range layout.K {
+	for bi, k := range layout.K {
 		syms := make([][]byte, k)
 		for i := 0; i < k; i++ {
 			end := off + t
@@ -102,11 +116,51 @@ func NewObjectEncoder(data []byte, t, maxK int) (*ObjectEncoder, error) {
 			}
 			off = end
 		}
-		e, err := NewEncoder(syms)
+		srcs[bi] = syms
+	}
+	enc := &ObjectEncoder{layout: layout, blocks: make([]*Encoder, z)}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > z {
+		workers = z
+	}
+	if workers <= 1 {
+		for bi := range srcs {
+			e, err := NewEncoder(srcs[bi])
+			if err != nil {
+				return nil, err
+			}
+			enc.blocks[bi] = e
+		}
+		return enc, nil
+	}
+	errs := make([]error, z)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				bi := int(next.Add(1)) - 1
+				if bi >= z {
+					return
+				}
+				e, err := NewEncoder(srcs[bi])
+				if err != nil {
+					errs[bi] = err
+					continue
+				}
+				enc.blocks[bi] = e
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		enc.blocks = append(enc.blocks, e)
 	}
 	return enc, nil
 }
@@ -128,6 +182,13 @@ type ObjectDecoder struct {
 	blocks []*Decoder
 	done   []bool
 	nDone  int
+
+	// workers bounds TryDecode's block parallelism; <= 0 means
+	// GOMAXPROCS. Blocks decode independently and completion is
+	// recorded by index, so the worker count never changes results.
+	workers  int
+	readyBuf []int
+	okBuf    []bool
 }
 
 // NewObjectDecoder creates a decoder for an object with the given
@@ -154,14 +215,64 @@ func (od *ObjectDecoder) AddSymbol(sbn int, esi uint32, data []byte) (bool, erro
 	return od.blocks[sbn].AddSymbol(esi, data)
 }
 
+// SetWorkers bounds the block parallelism of TryDecode; n <= 0 selects
+// GOMAXPROCS. Must not be called concurrently with TryDecode.
+func (od *ObjectDecoder) SetWorkers(n int) { od.workers = n }
+
 // TryDecode attempts to decode every ready, not-yet-decoded block and
-// reports whether the whole object is now recovered.
+// reports whether the whole object is now recovered. When two or more
+// blocks are ready it fans the per-block solves out over a worker
+// pool; completion flags are written by block index afterwards, so
+// results and observable state are identical to the serial order.
 func (od *ObjectDecoder) TryDecode() bool {
+	ready := od.readyBuf[:0]
 	for i, d := range od.blocks {
-		if od.done[i] || !d.Ready() {
-			continue
+		if !od.done[i] && d.Ready() {
+			ready = append(ready, i)
 		}
-		if _, err := d.Decode(); err == nil {
+	}
+	od.readyBuf = ready
+	workers := od.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ready) {
+		workers = len(ready)
+	}
+	if workers <= 1 || len(ready) < 2 {
+		for _, i := range ready {
+			if _, err := od.blocks[i].Decode(); err == nil {
+				od.done[i] = true
+				od.nDone++
+			}
+		}
+		return od.nDone == len(od.blocks)
+	}
+	if cap(od.okBuf) < len(ready) {
+		od.okBuf = make([]bool, len(ready))
+	}
+	ok := od.okBuf[:len(ready)]
+	clear(ok)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(ready) {
+					return
+				}
+				if _, err := od.blocks[ready[j]].Decode(); err == nil {
+					ok[j] = true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for j, i := range ready {
+		if ok[j] {
 			od.done[i] = true
 			od.nDone++
 		}

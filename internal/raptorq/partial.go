@@ -1,0 +1,176 @@
+package raptorq
+
+import (
+	"polyraptor/internal/gf256"
+)
+
+// Partial-systematic decoding: when most source symbols arrive intact,
+// paying a full L x L inactivation solve to recover a handful of
+// missing rows wastes almost all of its work — the observation SCDP
+// builds its datacenter transport on. This path reduces the decode to
+// an m x m dense system over only the m missing source symbols.
+//
+// The precode solve is linear and byte-lane-wise: every recorded
+// schedule op (XOR, GF(256) multiply-add, scale) maps byte position b
+// of its inputs to byte position b of its output. Writing the
+// intermediate symbols as a function of the source block therefore
+// splits cleanly:
+//
+//	C[col] = C0[col] + sum_j gamma[col][j] * x_j
+//
+// where x_j is the j-th *missing* source symbol, C0 is the precode
+// replay with zeros in the missing rows (computed at full symbol
+// width), and gamma[col][j] is a GF(256) scalar — recovered for all
+// columns at once by replaying the same schedule over m-byte "lanes"
+// seeded with unit vectors e_j in the missing rows.
+//
+// Each received repair symbol with ESI e then yields one equation over
+// the x_j:
+//
+//	sum_j a_e[j] * x_j = recv[e] - sum_{col in LT(e)} C0[col]
+//	a_e[j] = sum_{col in LT(e)} gamma[col][j]
+//
+// Gauss-Jordan on the resulting r x m system (r = m plus a few spare
+// repair rows) recovers the missing sources directly — no intermediate
+// symbols, no regeneration step. If the capped repair subset happens
+// to be rank-deficient, Decode falls back to the full solver, which
+// sees every received row.
+//
+// Byte-identity with the full solver: both paths compute the unique
+// exact solution of a full-rank linear system whose solution is the
+// original source block, so agreement is exact, not approximate — the
+// differential tests assert it byte-for-byte.
+
+// partialExtraRows is how many repair equations beyond m the partial
+// path stacks onto the dense system. The reduced system inherits full
+// rank from the received set with overwhelming probability; a few
+// spare rows make the rank-deficient fall-back rare instead of
+// common at m == repair count.
+const partialExtraRows = 8
+
+// partialMaxMissing bounds how many missing source rows the partial
+// path will take on. Beyond ~K/8 the m x m dense solve and the lane
+// replay stop being cheaper than a cached full solve; the absolute cap
+// bounds the lane arena for huge blocks.
+func partialMaxMissing(k int) int {
+	m := k / 8
+	if m < 1 {
+		m = 1
+	}
+	if m > 128 {
+		m = 128
+	}
+	return m
+}
+
+// decodePartial recovers the m missing source symbols via the reduced
+// system and fills out. It requires len(d.recv) >= K (checked by
+// Decode). Everything it touches is reused scratch: in the steady
+// state it allocates nothing.
+func (d *Decoder) decodePartial(out [][]byte, m int) error {
+	k := d.p.K
+	sched, err := precodeSchedule(d.p)
+	if err != nil {
+		return err
+	}
+
+	// Missing source rows, ascending.
+	miss := d.missBuf[:0]
+	for i := 0; i < k; i++ {
+		if _, ok := d.recv[uint32(i)]; !ok {
+			miss = append(miss, uint32(i))
+		}
+	}
+	d.missBuf = miss
+
+	// Repair rows: the sorted received set's tail (every ESI >= K).
+	esis := d.sortedESIs()
+	repairs := esis[d.srcHave:]
+	if len(repairs) > m+partialExtraRows {
+		repairs = repairs[:m+partialExtraRows]
+	}
+	if len(repairs) < m {
+		return ErrSingular
+	}
+
+	s := d.p.S
+	nSlots := sched.nSlots
+
+	// Lane replay: unit byte-lanes in the missing rows expose the
+	// GF(256) coefficient of every intermediate on every missing
+	// source.
+	lanes := d.lanes.slots(nSlots, m)
+	for i := range lanes {
+		clear(lanes[i])
+	}
+	for j, esi := range miss {
+		lanes[s+int(esi)][j] = 1
+	}
+	sched.replay(lanes)
+
+	// Base replay: the known part C0 of every intermediate, from the
+	// received sources with zeros in the missing rows.
+	base := d.slots.slots(nSlots, d.t)
+	for i := 0; i < s; i++ {
+		clear(base[i])
+	}
+	for i := 0; i < k; i++ {
+		if sym, ok := d.recv[uint32(i)]; ok {
+			copy(base[s+i], sym)
+		} else {
+			clear(base[s+i])
+		}
+	}
+	for i := s + k; i < nSlots; i++ {
+		clear(base[i])
+	}
+	sched.replay(base)
+
+	// Assemble the reduced r x m system.
+	r := len(repairs)
+	if cap(d.coefBuf) < r*m {
+		d.coefBuf = make([]byte, r*m)
+	}
+	d.coefBuf = d.coefBuf[:r*m]
+	if cap(d.rhsBuf) < r*d.t {
+		d.rhsBuf = make([]byte, r*d.t)
+	}
+	d.rhsBuf = d.rhsBuf[:r*d.t]
+	eq := d.eqRows[:0]
+	eqSym := d.eqSymRows[:0]
+	scratch := d.ltScratch
+	for i, esi := range repairs {
+		coef := d.coefBuf[i*m : (i+1)*m : (i+1)*m]
+		clear(coef)
+		rhs := d.rhsBuf[i*d.t : (i+1)*d.t : (i+1)*d.t]
+		copy(rhs, d.recv[esi])
+		scratch = d.p.AppendLTIndices(scratch[:0], esi)
+		for _, col := range scratch {
+			slot := sched.outSlot[col]
+			gf256.AddRow(coef, lanes[slot])
+			gf256.AddRow(rhs, base[slot])
+		}
+		eq = append(eq, coef)
+		eqSym = append(eqSym, rhs)
+	}
+	d.ltScratch = scratch
+	d.eqRows, d.eqSymRows = eq, eqSym
+
+	if cap(d.rowOfCol) < m {
+		d.rowOfCol = make([]int, m)
+	}
+	rowOfCol := d.rowOfCol[:m]
+	if err := gaussJordanScratch(eq, eqSym, m, rowOfCol); err != nil {
+		return err
+	}
+
+	for i := 0; i < k; i++ {
+		if sym, ok := d.recv[uint32(i)]; ok {
+			out[i] = sym
+		}
+	}
+	for j, esi := range miss {
+		out[esi] = eqSym[rowOfCol[j]]
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+package raptorq
+
+import (
+	"sync"
+
+	"polyraptor/internal/gf256"
+)
+
+// Recorded elimination schedules: the structural part of a solve
+// (pivot selection, inactivation, the dense Gauss-Jordan) depends only
+// on which rows are present, never on the symbol bytes. The solver can
+// therefore run once in recording mode and emit the exact sequence of
+// GF(256) row operations it performed; replaying that sequence over a
+// fresh set of right-hand-side symbols reproduces the solve
+// byte-for-byte at pure-kernel speed, with zero allocation and zero
+// structural work. This is the factorization cache the codec pipeline
+// is built on:
+//
+//   - the encoder's precode system depends only on K, so one recorded
+//     schedule per K serves every encode (precodeCache);
+//   - a decoder's system depends on (K, received-ESI set), so repeated
+//     loss patterns reuse a bounded cache of schedules
+//     (decodeSchedCache);
+//   - the partial-systematic decode path replays the precode schedule
+//     twice (once over byte lanes, once over the received sources) to
+//     reduce the whole decode to an m x m system over the missing rows.
+
+// schedOp is one recorded row operation over the replay slots.
+type schedOp struct {
+	dst, src int32
+	kind     uint8
+	beta     byte
+}
+
+// schedOp kinds.
+const (
+	opAdd    uint8 = iota // syms[dst] ^= syms[src]
+	opMulAdd              // syms[dst] += beta * syms[src]
+	opScale               // syms[dst] *= beta (src == dst)
+)
+
+// schedule is a replayable elimination: ops over nSlots row slots,
+// and outSlot mapping each intermediate column to the slot that holds
+// its value after replay. Slot layout follows the recording solver:
+// binary row r is slot r, dense row j is slot (number of binary
+// rows)+j. A schedule is immutable after prune and safe for concurrent
+// replay over distinct slot sets.
+type schedule struct {
+	nSlots  int
+	ops     []schedOp
+	outSlot []int32
+}
+
+// replay applies the recorded operations to the caller's slot symbols.
+// syms must have nSlots rows of equal width (any width: the schedule
+// is structure-only, so 1-byte coefficient lanes and full symbols
+// replay identically).
+//
+//polyvet:noalloc schedule replay is the steady-state codec solve: pure gf256 kernel calls over caller-provided slots
+func (sc *schedule) replay(syms [][]byte) {
+	for _, op := range sc.ops {
+		switch op.kind {
+		case opAdd:
+			gf256.AddRow(syms[op.dst], syms[op.src])
+		case opMulAdd:
+			gf256.MulAddRow(syms[op.dst], syms[op.src], op.beta)
+		default:
+			gf256.ScaleRow(syms[op.dst], op.beta)
+		}
+	}
+}
+
+// prune drops operations that cannot influence any output slot: a
+// backward liveness pass seeded from outSlot. The big win is the dense
+// HDPC substitution — every HDPC row absorbs one MulAddRow per pivot
+// during recording, but only the handful of HDPC rows that end up as
+// Gauss-Jordan pivots ever reach an output, so the rest of that work
+// vanishes from the replay.
+func (sc *schedule) prune() {
+	live := make([]bool, sc.nSlots)
+	for _, s := range sc.outSlot {
+		live[s] = true
+	}
+	keep := make([]bool, len(sc.ops))
+	for i := len(sc.ops) - 1; i >= 0; i-- {
+		op := sc.ops[i]
+		if !live[op.dst] {
+			continue
+		}
+		keep[i] = true
+		live[op.src] = true
+	}
+	out := sc.ops[:0]
+	for i, op := range sc.ops {
+		if keep[i] {
+			out = append(out, op)
+		}
+	}
+	sc.ops = out
+}
+
+// slotArena owns the backing store for one set of replay slots. The
+// buffer and the view headers are reused across calls, so steady-state
+// codec work allocates nothing.
+type slotArena struct {
+	buf   []byte
+	views [][]byte
+}
+
+// slots returns n reusable symbol views of width t. Contents are
+// whatever the previous call left behind: callers must clear or
+// overwrite every slot they rely on.
+//
+//polyvet:noalloc steady-state replay scratch; the grow path is split out cold
+func (a *slotArena) slots(n, t int) [][]byte {
+	if cap(a.buf) < n*t || cap(a.views) < n {
+		a.grow(n, t)
+	}
+	a.buf = a.buf[:n*t]
+	a.views = a.views[:n]
+	for i := range a.views {
+		a.views[i] = a.buf[i*t : (i+1)*t : (i+1)*t]
+	}
+	return a.views
+}
+
+// grow is the cold path of slots. noinline keeps its allocations out
+// of the annotated caller under the compiler-verified gate.
+//
+//go:noinline
+func (a *slotArena) grow(n, t int) {
+	a.buf = make([]byte, n*t)
+	a.views = make([][]byte, n)
+}
+
+var (
+	precodeMu sync.Mutex
+	// precodeCache holds one recorded precode elimination per K. The
+	// precode system (S LDPC + H HDPC + K LT rows over L columns) is a
+	// function of K alone, so the entry count is bounded by the number
+	// of distinct block sizes the process touches — in practice one or
+	// two.
+	precodeCache = map[int]*schedule{}
+)
+
+// precodeSchedule returns the recorded precode elimination for p,
+// building and caching it on first use. Two goroutines racing on a
+// cold K may both build; the schedules are equivalent and either may
+// win the cache slot.
+func precodeSchedule(p Params) (*schedule, error) {
+	precodeMu.Lock()
+	sc := precodeCache[p.K]
+	precodeMu.Unlock()
+	if sc != nil {
+		return sc, nil
+	}
+	s := newSolver(p.L, 0)
+	s.record = true
+	addConstraintRows(s, p)
+	var scratch []int32 // reused LT expansion; addBinaryRow copies it
+	for i := 0; i < p.K; i++ {
+		scratch = p.AppendLTIndices(scratch[:0], uint32(i))
+		s.addBinaryRow(scratch, nil)
+	}
+	if _, err := s.solve(); err != nil {
+		// The systematic index search guarantees an invertible precode,
+		// so this is unreachable unless the cache was poisoned.
+		return nil, err
+	}
+	precodeMu.Lock()
+	precodeCache[p.K] = s.sched
+	precodeMu.Unlock()
+	return s.sched, nil
+}
+
+// esiKey hashes a decode pattern (K plus the sorted received-ESI set)
+// for the schedule cache: FNV-1a over the words.
+//
+//polyvet:noalloc per-decode cache key on the decode hot path
+//polyvet:nobce single forward range walk; nothing indexes per element
+func esiKey(k int, esis []uint32) uint64 {
+	const prime = 1099511628211
+	h := uint64(1469598103934665603)
+	h ^= uint64(k)
+	h *= prime
+	for _, e := range esis {
+		h ^= uint64(e)
+		h *= prime
+	}
+	return h
+}
+
+// decodeSched is one cached decode elimination: the exact pattern it
+// was recorded for (guarding against hash collisions) plus the
+// schedule. Symbol width is not part of the key — schedules are
+// structure-only and replay at any width.
+type decodeSched struct {
+	k    int
+	esis []uint32
+	s    *schedule
+}
+
+// decodeSchedCache is a bounded FIFO cache of decode schedules keyed
+// by (K, sorted ESI set). FIFO via the order slice keeps eviction
+// deterministic (no map iteration). Safe for concurrent use.
+type decodeSchedCache struct {
+	mu    sync.Mutex
+	cap   int
+	m     map[uint64]*decodeSched
+	order []uint64
+}
+
+func newDecodeSchedCache(capacity int) *decodeSchedCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &decodeSchedCache{cap: capacity, m: make(map[uint64]*decodeSched, capacity)}
+}
+
+// defaultDecodeSchedCache is shared by every Decoder unless a test
+// injects its own. 64 entries of a few thousand 8-byte ops each keep
+// the bound in the low megabytes.
+var defaultDecodeSchedCache = newDecodeSchedCache(64)
+
+func equalESIs(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// get returns the schedule recorded for exactly (k, esis), or nil.
+func (c *decodeSchedCache) get(k int, esis []uint32) *schedule {
+	key := esiKey(k, esis)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.m[key]
+	if e == nil || e.k != k || !equalESIs(e.esis, esis) {
+		return nil
+	}
+	return e.s
+}
+
+// put stores a schedule for (k, esis), evicting the oldest entries
+// when full. esis is copied. A hash collision overwrites the colliding
+// entry (correctness is preserved by get's exact match).
+func (c *decodeSchedCache) put(k int, esis []uint32, s *schedule) {
+	key := esiKey(k, esis)
+	cp := make([]uint32, len(esis))
+	copy(cp, esis)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.m[key]; !exists {
+		for len(c.m) >= c.cap && len(c.order) > 0 {
+			delete(c.m, c.order[0])
+			c.order = c.order[1:]
+		}
+		c.order = append(c.order, key)
+	}
+	c.m[key] = &decodeSched{k: k, esis: cp, s: s}
+}
+
+// len reports the current entry count (for tests).
+func (c *decodeSchedCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

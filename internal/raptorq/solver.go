@@ -29,6 +29,13 @@ var ErrSingular = errors.New("raptorq: equation system is singular")
 //
 // Rows own their symbol buffers (inputs are copied), so callers may
 // retry a failed solve on a fresh solver after collecting more rows.
+//
+// With record set, the solver additionally logs every symbol row
+// operation it performs as a schedOp over stable row slots (binary row
+// r is slot r, dense row j is slot len(bin)+j) and, on success, stores
+// the pruned schedule in sched. Because every site that mutates a
+// symbol maps one-to-one to a recorded op, replaying the schedule over
+// the same initial slot contents reproduces the solve byte-for-byte.
 
 // binRow is a GF(2) equation: XOR of the symbols at the active and
 // inactive columns equals sym.
@@ -58,9 +65,14 @@ type solver struct {
 	bin   []binRow
 	dense []denseRow
 
-	// colRows[c] is the set of binary-row indices whose active set
-	// currently contains column c.
-	colRows []map[int32]struct{}
+	// colRows[c] lists the binary rows whose active set contains column
+	// c. Rows never regain a column and a column leaves every row at
+	// once (pivot elimination or inactivation nils the whole list), so
+	// the per-column list is append-only and always exact — and, unlike
+	// the map-backed set it replaces, iterates in insertion order,
+	// which makes pivot discovery and therefore the recorded schedule
+	// deterministic.
+	colRows [][]int32
 
 	// Scratch arenas: row symbols and dense coefficients are carved out
 	// of large chunks instead of one heap allocation per row, cutting
@@ -68,18 +80,34 @@ type solver struct {
 	// forward only, so handed-out sub-slices are never reused.
 	symArena   []byte
 	coeffArena []byte
+
+	// Recording state (see schedule.go).
+	record bool
+	ops    []schedOp
+	sched  *schedule
+
+	// Horner structure of the dense rows, set by addConstraintRows when
+	// the dense rows are the MT x Gamma HDPC construction: hornerPicks[c]
+	// are the two MT row picks of column c, and columns [0, hornerCols)
+	// form the Gamma region. When set, pivot substitution into the dense
+	// rows runs as one shared alpha-weighted chain (emitHornerChain)
+	// instead of per-(row, pivot) dense multiply-accumulates. nil means
+	// generic dense rows.
+	hornerPicks [][2]int32
+	hornerCols  int
 }
 
 func newSolver(l, t int) *solver {
 	return &solver{
 		l:       l,
 		t:       t,
-		colRows: make([]map[int32]struct{}, l),
+		colRows: make([][]int32, l),
 	}
 }
 
 // addBinaryRow adds the equation XOR(cols) = sym. cols must be
-// distinct. sym is copied; nil is treated as the zero symbol.
+// distinct (duplicates would corrupt the per-column row lists). sym is
+// copied; nil is treated as the zero symbol.
 func (s *solver) addBinaryRow(cols []int32, sym []byte) {
 	rid := int32(len(s.bin))
 	s.bin = append(s.bin, binRow{
@@ -90,10 +118,7 @@ func (s *solver) addBinaryRow(cols []int32, sym []byte) {
 	r := &s.bin[rid]
 	for _, c := range cols {
 		r.active[c] = struct{}{}
-		if s.colRows[c] == nil {
-			s.colRows[c] = make(map[int32]struct{})
-		}
-		s.colRows[c][rid] = struct{}{}
+		s.colRows[c] = append(s.colRows[c], rid)
 	}
 }
 
@@ -144,8 +169,97 @@ func (s *solver) scratchCoeff(n int) []byte {
 	return out
 }
 
+// emitAdd performs (and, when recording, logs) syms[dst] ^= syms[src].
+func (s *solver) emitAdd(dst, src int32, dsym, ssym []byte) {
+	if s.record {
+		s.ops = append(s.ops, schedOp{dst: dst, src: src, kind: opAdd})
+	}
+	if s.t > 0 {
+		gf256.AddRow(dsym, ssym)
+	}
+}
+
+// emitMulAdd performs/logs syms[dst] += beta * syms[src].
+func (s *solver) emitMulAdd(dst, src int32, beta byte, dsym, ssym []byte) {
+	if s.record {
+		s.ops = append(s.ops, schedOp{dst: dst, src: src, kind: opMulAdd, beta: beta})
+	}
+	if s.t > 0 {
+		gf256.MulAddRow(dsym, ssym, beta)
+	}
+}
+
+// emitScale performs/logs syms[dst] *= beta.
+func (s *solver) emitScale(dst int32, beta byte, dsym []byte) {
+	if s.record {
+		s.ops = append(s.ops, schedOp{dst: dst, src: dst, kind: opScale, beta: beta})
+	}
+	if s.t > 0 {
+		gf256.ScaleRow(dsym, beta)
+	}
+}
+
 type pivot struct {
 	row, col int32
+}
+
+// emitHornerChain substitutes every pivoted Gamma-region column into
+// the dense HDPC rows using their MT x Gamma structure. With y_c the
+// (pre-back-substitution) symbol of the pivot row at column c, each
+// dense row r owes
+//
+//	sum_c coeff_r[c] * y_c  =  sum_{j : MT[r][j]=1} Q_j,
+//	Q_j = sum_{c <= j, c pivoted} alpha^(j-c) * y_c,
+//
+// because coeff_r[c] = sum_{j >= c, MT[r][j]=1} alpha^(j-c). Q_j obeys
+// Q_j = alpha*Q_{j-1} + y_j, so one column-ascending walk with a single
+// scratch symbol Q — scale by alpha, add the pivot row, XOR Q into the
+// <= 2 picked rows — performs the whole substitution in O(L) cheap row
+// ops instead of O(H * pivots) dense multiply-accumulates. Q lives in
+// the extra schedule slot appended after every row slot; replays zero
+// it along with the other non-source slots.
+func (s *solver) emitHornerChain(pivots []pivot, nBin int32) {
+	qSlot := nBin + int32(len(s.dense))
+	rowOf := make([]int32, s.hornerCols)
+	for i := range rowOf {
+		rowOf[i] = -1
+	}
+	for _, pv := range pivots {
+		if int(pv.col) < s.hornerCols {
+			rowOf[pv.col] = pv.row
+		}
+	}
+	var qsym []byte
+	if s.t > 0 {
+		qsym = s.copySym(nil) // zeroed scratch symbol
+	}
+	started := false
+	for c := 0; c < s.hornerCols; c++ {
+		if started {
+			s.emitScale(qSlot, 2, qsym) // alpha step: Q *= alpha
+		}
+		if pr := rowOf[c]; pr >= 0 {
+			s.emitAdd(qSlot, pr, qsym, s.bin[pr].sym)
+			started = true
+		}
+		if !started {
+			continue // Q is still zero; the picks would be no-ops
+		}
+		for _, r := range s.hornerPicks[c] {
+			dr := &s.dense[r]
+			s.emitAdd(nBin+r, qSlot, dr.sym, qsym)
+		}
+	}
+}
+
+// nSlots returns the slot count of the recorded schedule: one slot per
+// row plus, when the Horner chain is in play, its Q scratch slot.
+func (s *solver) nSlots() int {
+	n := len(s.bin) + len(s.dense)
+	if s.hornerPicks != nil && len(s.dense) > 0 {
+		n++
+	}
+	return n
 }
 
 // solve returns the l intermediate symbols, or ErrSingular.
@@ -157,7 +271,11 @@ func (s *solver) solve() ([][]byte, error) {
 		inactive []int32
 		inactIdx = make(map[int32]int)
 		queue    []int32 // candidate degree-one rows (validated lazily)
+		outSlot  []int32
 	)
+	if s.record {
+		outSlot = make([]int32, s.l)
+	}
 	for rid, r := range s.bin {
 		if len(r.active) == 1 {
 			queue = append(queue, int32(rid))
@@ -184,17 +302,14 @@ func (s *solver) solve() ([][]byte, error) {
 			}
 			// Eliminate c from every other row containing it. The pivot
 			// row has no other active columns, so no fill-in occurs.
-			//polyvet:orderfree GF(256) row additions commute and each target row is touched exactly once; queue order only permutes pivot discovery, and any elimination order yields the same unique solution
-			for orid := range s.colRows[c] {
+			for _, orid := range s.colRows[c] {
 				if orid == rid {
 					continue
 				}
 				o := &s.bin[orid]
 				delete(o.active, c)
 				symDiff(o.inact, r.inact)
-				if s.t > 0 {
-					gf256.AddRow(o.sym, r.sym)
-				}
+				s.emitAdd(orid, rid, o.sym, r.sym)
 				if len(o.active) == 1 {
 					queue = append(queue, orid)
 				}
@@ -224,8 +339,7 @@ func (s *solver) solve() ([][]byte, error) {
 		if best < 0 {
 			break // unreachable: alive > 0 implies an alive column exists
 		}
-		//polyvet:orderfree each referencing row is updated independently (delete + insert at fixed column best); queue order only permutes pivot discovery, not the solution
-		for orid := range s.colRows[best] {
+		for _, orid := range s.colRows[best] {
 			o := &s.bin[orid]
 			delete(o.active, best)
 			o.inact[best] = struct{}{}
@@ -240,10 +354,14 @@ func (s *solver) solve() ([][]byte, error) {
 		alive--
 	}
 
-	// Assemble the dense system over the inactivated columns.
+	// Assemble the dense system over the inactivated columns. eqSlot
+	// carries each dense equation's row slot through the swaps below so
+	// recorded operations stay addressed to stable slots.
+	nBin := int32(len(s.bin))
 	u := len(inactive)
 	var eq [][]byte
 	var eqSym [][]byte
+	var eqSlot []int32
 	for rid := range s.bin {
 		r := &s.bin[rid]
 		if isPivot[rid] || len(r.inact) == 0 {
@@ -255,6 +373,10 @@ func (s *solver) solve() ([][]byte, error) {
 		}
 		eq = append(eq, coeff)
 		eqSym = append(eqSym, r.sym)
+		eqSlot = append(eqSlot, int32(rid))
+	}
+	if len(s.dense) > 0 && s.hornerPicks != nil {
+		s.emitHornerChain(pivots, nBin)
 	}
 	for di := range s.dense {
 		dr := &s.dense[di]
@@ -265,8 +387,14 @@ func (s *solver) solve() ([][]byte, error) {
 			}
 			dr.coeff[pv.col] = 0
 			pr := &s.bin[pv.row]
-			if s.t > 0 {
-				gf256.MulAddRow(dr.sym, pr.sym, beta)
+			if s.hornerPicks == nil || int(pv.col) >= s.hornerCols {
+				// Gamma-region symbol work was done by the Horner chain;
+				// only identity-region pivots (at most H, each a single
+				// add) go through the generic dense substitution. The
+				// coefficient bookkeeping below runs either way — beta is
+				// the original coefficient at the pivot column, which the
+				// chain's algebra relies on.
+				s.emitMulAdd(nBin+int32(di), pv.row, beta, dr.sym, pr.sym)
 			}
 			for c := range pr.inact {
 				dr.coeff[c] ^= beta // GF(256) add of beta * 1
@@ -278,41 +406,11 @@ func (s *solver) solve() ([][]byte, error) {
 		}
 		eq = append(eq, coeff)
 		eqSym = append(eqSym, dr.sym)
+		eqSlot = append(eqSlot, nBin+int32(di))
 	}
 
-	vals, err := gaussJordan(eq, eqSym, u, s.t)
-	if err != nil {
-		return nil, err
-	}
-
-	// Back-substitute. Pivot equations reference only inactive columns,
-	// so order is irrelevant.
-	out := make([][]byte, s.l)
-	for i, c := range inactive {
-		out[c] = vals[i]
-	}
-	for _, pv := range pivots {
-		r := s.bin[pv.row]
-		sym := r.sym
-		if s.t > 0 {
-			//polyvet:orderfree XOR accumulation over distinct columns commutes byte-for-byte
-			for c := range r.inact {
-				gf256.AddRow(sym, out[c])
-			}
-		}
-		out[pv.col] = sym
-	}
-	for c := range out {
-		if out[c] == nil {
-			return nil, ErrSingular
-		}
-	}
-	return out, nil
-}
-
-// gaussJordan solves the dense m x u system over GF(256) and returns
-// the u unknown symbols. Rows and symbols are mutated in place.
-func gaussJordan(eq [][]byte, eqSym [][]byte, u, t int) ([][]byte, error) {
+	// Gauss-Jordan over the dense system (recorded inline so the row
+	// swaps can permute eqSlot alongside).
 	if len(eq) < u {
 		return nil, ErrSingular
 	}
@@ -331,12 +429,11 @@ func gaussJordan(eq [][]byte, eqSym [][]byte, u, t int) ([][]byte, error) {
 		}
 		eq[row], eq[sel] = eq[sel], eq[row]
 		eqSym[row], eqSym[sel] = eqSym[sel], eqSym[row]
+		eqSlot[row], eqSlot[sel] = eqSlot[sel], eqSlot[row]
 		if pc := eq[row][col]; pc != 1 {
 			inv := gf256.Inv(pc)
 			gf256.ScaleRow(eq[row], inv)
-			if t > 0 {
-				gf256.ScaleRow(eqSym[row], inv)
-			}
+			s.emitScale(eqSlot[row], inv, eqSym[row])
 		}
 		for r := 0; r < len(eq); r++ {
 			if r == row || eq[r][col] == 0 {
@@ -344,18 +441,91 @@ func gaussJordan(eq [][]byte, eqSym [][]byte, u, t int) ([][]byte, error) {
 			}
 			beta := eq[r][col]
 			gf256.MulAddRow(eq[r], eq[row], beta)
-			if t > 0 {
-				gf256.MulAddRow(eqSym[r], eqSym[row], beta)
-			}
+			s.emitMulAdd(eqSlot[r], eqSlot[row], beta, eqSym[r], eqSym[row])
 		}
 		rowOfCol[col] = row
 		row++
 	}
-	vals := make([][]byte, u)
-	for col := 0; col < u; col++ {
-		vals[col] = eqSym[rowOfCol[col]]
+
+	// Back-substitute. Pivot equations reference only inactive columns,
+	// so order is irrelevant.
+	out := make([][]byte, s.l)
+	for i, c := range inactive {
+		out[c] = eqSym[rowOfCol[i]]
+		if s.record {
+			outSlot[c] = eqSlot[rowOfCol[i]]
+		}
 	}
-	return vals, nil
+	for _, pv := range pivots {
+		r := s.bin[pv.row]
+		sym := r.sym
+		//polyvet:orderfree XOR accumulation over distinct columns commutes byte-for-byte, and the recorded ops form a commuting group between this slot's definition and its uses
+		for c := range r.inact {
+			if s.record {
+				s.ops = append(s.ops, schedOp{dst: pv.row, src: outSlot[c], kind: opAdd})
+			}
+			if s.t > 0 {
+				gf256.AddRow(sym, out[c])
+			}
+		}
+		out[pv.col] = sym
+		if s.record {
+			outSlot[pv.col] = pv.row
+		}
+	}
+	for c := range out {
+		if out[c] == nil {
+			return nil, ErrSingular
+		}
+	}
+	if s.record {
+		s.sched = &schedule{nSlots: s.nSlots(), ops: s.ops, outSlot: outSlot}
+		s.sched.prune()
+	}
+	return out, nil
+}
+
+// gaussJordanScratch solves the dense len(eq) x u system over GF(256)
+// in place using only caller-provided storage: after it returns nil,
+// unknown j's symbol is eqSym[rowOfCol[j]]. It is the partial decode
+// path's solver — small (u = missing source count) and allocation-free.
+//
+//polyvet:noalloc partial-path dense solve over caller-owned scratch
+func gaussJordanScratch(eq, eqSym [][]byte, u int, rowOfCol []int) error {
+	if len(eq) < u {
+		return ErrSingular
+	}
+	row := 0
+	for col := 0; col < u; col++ {
+		sel := -1
+		for r := row; r < len(eq); r++ {
+			if eq[r][col] != 0 {
+				sel = r
+				break
+			}
+		}
+		if sel < 0 {
+			return ErrSingular
+		}
+		eq[row], eq[sel] = eq[sel], eq[row]
+		eqSym[row], eqSym[sel] = eqSym[sel], eqSym[row]
+		if pc := eq[row][col]; pc != 1 {
+			inv := gf256.Inv(pc)
+			gf256.ScaleRow(eq[row], inv)
+			gf256.ScaleRow(eqSym[row], inv)
+		}
+		for r := 0; r < len(eq); r++ {
+			if r == row || eq[r][col] == 0 {
+				continue
+			}
+			beta := eq[r][col]
+			gf256.MulAddRow(eq[r], eq[row], beta)
+			gf256.MulAddRow(eqSym[r], eqSym[row], beta)
+		}
+		rowOfCol[col] = row
+		row++
+	}
+	return nil
 }
 
 // symDiff applies dst ^= src in set form (symmetric difference).

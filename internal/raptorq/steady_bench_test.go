@@ -1,0 +1,92 @@
+package raptorq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Steady-state benchmarks for the layered codec pipeline. These mirror
+// the perfbench codec cells (which drive ALLOC_BUDGET.json); keeping
+// them here too makes `go test -bench` useful during codec work.
+
+func benchSource(k, t int) [][]byte {
+	rng := rand.New(rand.NewSource(7))
+	src := make([][]byte, k)
+	for i := range src {
+		src[i] = make([]byte, t)
+		rng.Read(src[i])
+	}
+	return src
+}
+
+func BenchmarkEncodeReset(b *testing.B) {
+	const k, t = 256, 1024
+	src := benchSource(k, t)
+	enc, err := NewEncoder(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(k * t))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Reset(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type benchArrival struct {
+	esi uint32
+	sym []byte
+}
+
+func benchArrivals(b *testing.B, k, t int, keep float64) []benchArrival {
+	src := benchSource(k, t)
+	enc, err := NewEncoder(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var arrivals []benchArrival
+	for i := 0; i < k; i++ {
+		if rng.Float64() < keep {
+			arrivals = append(arrivals, benchArrival{uint32(i), enc.Symbol(uint32(i))})
+		}
+	}
+	for esi := uint32(k); len(arrivals) < k+2; esi++ {
+		arrivals = append(arrivals, benchArrival{esi, enc.Symbol(esi)})
+	}
+	return arrivals
+}
+
+func benchDecode(b *testing.B, keep float64) {
+	const k, t = 256, 1024
+	arrivals := benchArrivals(b, k, t, keep)
+	dec, err := NewDecoder(k, t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func() {
+		dec.Reset()
+		for _, a := range arrivals {
+			if _, err := dec.AddSymbol(a.esi, a.sym); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := dec.Decode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm caches and arenas
+	b.SetBytes(int64(k * t))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
+func BenchmarkDecodeSystematic(b *testing.B) { benchDecode(b, 1.01) }
+func BenchmarkDecode5pctLoss(b *testing.B)   { benchDecode(b, 0.95) }
+func BenchmarkDecode30pctLoss(b *testing.B)  { benchDecode(b, 0.70) }

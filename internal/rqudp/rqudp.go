@@ -51,6 +51,12 @@ type Config struct {
 	// MaxRetries bounds consecutive stall recoveries before the fetch
 	// aborts.
 	MaxRetries int
+	// Workers bounds the block-parallel codec work: server-side object
+	// encoding (per-block precode solves) and receiver-side block
+	// decoding. Zero selects the codec default (GOMAXPROCS); 1 forces
+	// serial. Output is byte-identical for every worker count — the
+	// knob trades construction/decode wall-clock only.
+	Workers int
 }
 
 // DefaultConfig returns sane defaults for LAN/loopback use.
@@ -77,6 +83,9 @@ func (c Config) validate() error {
 	}
 	if c.RetryInterval <= 0 || c.MaxRetries < 1 {
 		return fmt.Errorf("rqudp: RetryInterval and MaxRetries must be positive")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("rqudp: Workers %d must be >= 0", c.Workers)
 	}
 	return nil
 }
@@ -124,7 +133,7 @@ func NewServer(conn net.PacketConn, object []byte, cfg Config) (*Server, error) 
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	enc, err := raptorq.NewObjectEncoder(object, cfg.SymbolSize, cfg.MaxBlockK)
+	enc, err := raptorq.NewObjectEncoderWorkers(object, cfg.SymbolSize, cfg.MaxBlockK, cfg.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -432,6 +441,7 @@ func FetchMultiSourceStats(ctx context.Context, conn net.PacketConn, remotes []n
 				if err != nil {
 					return nil, stats, err
 				}
+				dec.SetWorkers(cfg.Workers)
 			}
 		case wire.MsgData:
 			d, err := wire.ParseData(hdr.Flow, body)

@@ -192,6 +192,9 @@ func (a *Agent) deliver(pkt *netsim.Packet) {
 			snd.onAck(pkt.Seq, pkt.ECNEcho)
 		}
 	}
+	// Handlers read fields synchronously and never retain the pointer;
+	// recycle the packet once dispatch returns.
+	a.sys.Net.FreePacket(pkt)
 }
 
 // tcpReceiver acknowledges every arriving segment with the cumulative
@@ -226,16 +229,16 @@ func (r *tcpReceiver) onData(pkt *netsim.Packet) {
 	// Exact per-packet CE echo: we acknowledge every segment, so the
 	// sender sees precisely which arrivals were marked (stronger than
 	// RFC 3168's sticky ECE, matching DCTCP's intent).
-	r.agent.host.Send(&netsim.Packet{
-		Flow:    r.flow,
-		Kind:    netsim.KindAck,
-		Size:    netsim.HeaderSize,
-		Src:     r.agent.host.ID,
-		Dst:     r.peer,
-		Group:   -1,
-		Seq:     r.expected,
-		ECNEcho: pkt.ECNMarked,
-	})
+	ack := r.agent.sys.Net.AllocPacket()
+	ack.Flow = r.flow
+	ack.Kind = netsim.KindAck
+	ack.Size = netsim.HeaderSize
+	ack.Src = r.agent.host.ID
+	ack.Dst = r.peer
+	ack.Group = -1
+	ack.Seq = r.expected
+	ack.ECNEcho = pkt.ECNMarked
+	r.agent.host.Send(ack)
 }
 
 // tcpSender implements NewReno.
@@ -297,16 +300,16 @@ func (s *tcpSender) transmit(seq int64, first bool) {
 		s.retransmits++
 		s.sys.Net.Rec.Record(s.sys.Net.Now(), s.flow, telemetry.EvRetransmit, s.sys.Agents[s.src].host.ID, seq)
 	}
-	s.sys.Agents[s.src].host.Send(&netsim.Packet{
-		Flow:       s.flow,
-		Kind:       netsim.KindData,
-		Size:       netsim.DataSize,
-		Src:        s.sys.Agents[s.src].host.ID,
-		Dst:        s.sys.Agents[s.dst].host.ID,
-		Group:      -1,
-		Seq:        seq,
-		ECNCapable: s.sys.Cfg.DCTCP,
-	})
+	seg := s.sys.Net.AllocPacket()
+	seg.Flow = s.flow
+	seg.Kind = netsim.KindData
+	seg.Size = netsim.DataSize
+	seg.Src = s.sys.Agents[s.src].host.ID
+	seg.Dst = s.sys.Agents[s.dst].host.ID
+	seg.Group = -1
+	seg.Seq = seq
+	seg.ECNCapable = s.sys.Cfg.DCTCP
+	s.sys.Agents[s.src].host.Send(seg)
 }
 
 // rto returns the current retransmission timeout with backoff.

@@ -63,6 +63,14 @@ func EncodeObject(data []byte, symbolSize, maxBlockK int) (*ObjectEncoder, error
 	return raptorq.NewObjectEncoder(data, symbolSize, maxBlockK)
 }
 
+// EncodeObjectWorkers is EncodeObject with an explicit worker count
+// for the per-block precode solves; workers <= 0 selects GOMAXPROCS.
+// Blocks are independent, so the produced encoder is byte-identical
+// for every worker count.
+func EncodeObjectWorkers(data []byte, symbolSize, maxBlockK, workers int) (*ObjectEncoder, error) {
+	return raptorq.NewObjectEncoderWorkers(data, symbolSize, maxBlockK, workers)
+}
+
 // NewObjectDecoder creates a decoder for an object with the given
 // layout (obtained from the encoder or a wire announcement).
 func NewObjectDecoder(layout BlockLayout) (*ObjectDecoder, error) {
