@@ -38,6 +38,7 @@ import (
 
 	"polyraptor/internal/chaos"
 	"polyraptor/internal/harness"
+	"polyraptor/internal/metrics"
 	"polyraptor/internal/store"
 	"polyraptor/internal/sweep"
 	"polyraptor/internal/telemetry"
@@ -70,6 +71,8 @@ func run(args []string, out, errw io.Writer) int {
 		flapP     = fs.Duration("flap-period", def.Fault.FlapPeriod, "flap: full down+up cycle length")
 		lossRate  = fs.Float64("loss-rate", def.Fault.LossRate, "loss: per-frame destruction probability (0, 1]")
 		deadline  = fs.Duration("deadline", def.Deadline, "sim-time budget; incomplete flows count as stalled")
+
+		sloFCT = fs.Duration("slo-fct", 0, "sweep mode: per-flow completion deadline; meters each run and reports slo_attainment + FCT/goodput histograms (0 = off)")
 
 		backends = fs.String("backend", "all", "comma list of rq|polyraptor, tcp, dctcp, or all")
 		seed     = fs.Int64("seed", 1, "seed (base seed with -runs > 1)")
@@ -154,9 +157,17 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintln(errw, "polychaos: -trace applies to the single-run mode (drop -runs/-json, or use polysweep -scenarios chaos -trace)")
 		return 2
 	}
+	if *sloFCT < 0 {
+		fmt.Fprintf(errw, "polychaos: -slo-fct must be >= 0, got %v\n", *sloFCT)
+		return 2
+	}
+	if *sloFCT > 0 && *nruns == 1 && !*jsonOut {
+		fmt.Fprintln(errw, "polychaos: -slo-fct applies to the sweep mode (add -runs or -json)")
+		return 2
+	}
 
 	if *nruns > 1 || *jsonOut {
-		return runSweep(opt, kinds, *seed, *nruns, *parallel, *csv, *jsonOut, out, errw)
+		return runSweep(opt, kinds, *seed, *nruns, *parallel, *csv, *jsonOut, sloFCT.Seconds(), out, errw)
 	}
 
 	var runs []harness.ChaosRun
@@ -206,9 +217,12 @@ func run(args []string, out, errw io.Writer) int {
 
 // runSweep is the multi-seed path: the chaos template repeated over
 // derived sub-seeds per backend, aggregated by the sweep engine.
-func runSweep(opt harness.ChaosOptions, kinds []store.BackendKind, seed int64, runs, parallel int, csv, jsonOut bool, out, errw io.Writer) int {
+func runSweep(opt harness.ChaosOptions, kinds []store.BackendKind, seed int64, runs, parallel int, csv, jsonOut bool, sloFCT float64, out, errw io.Writer) int {
 	p := harness.DefaultSweepParams()
 	p.Chaos = opt
+	if sloFCT > 0 {
+		p.SLO = &metrics.SLO{FCTDeadline: sloFCT}
+	}
 	var cells []sweep.Cell
 	for _, be := range kinds {
 		cell, err := harness.NewSweepCell("chaos", be, p)

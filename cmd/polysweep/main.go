@@ -18,6 +18,8 @@
 //	polysweep -scenarios storage -requests 300 -fail rack -format json
 //	polysweep -scenarios ablations -seeds 3
 //	polysweep -scenarios chaos -chaos-frac 0.25 -chaos-recover-at 50ms
+//	polysweep -slo-fct 5ms                           # PolyMeter: histograms + SLO attainment
+//	polysweep -meter                                 # histograms only (attainment = completion rate)
 //	polysweep -parallel 1                            # serial reference run
 //	polysweep -scenarios chaos -trace -v             # PolyScope trace per run, progress on stderr
 //	polysweep -cpuprofile sweep.pprof -memprofile sweep.mprof
@@ -37,6 +39,7 @@ import (
 
 	"polyraptor/internal/chaos"
 	"polyraptor/internal/harness"
+	"polyraptor/internal/metrics"
 	"polyraptor/internal/store"
 	"polyraptor/internal/sweep"
 	"polyraptor/internal/telemetry"
@@ -60,6 +63,10 @@ func run(args []string, out, errw io.Writer) int {
 		parallel  = fs.Int("parallel", 0, "max concurrent runs (0 = GOMAXPROCS)")
 		format    = fs.String("format", "table", "output format: table, csv, json")
 		verbose   = fs.Bool("v", false, "print per-run progress to stderr as cells finish")
+
+		meterOn = fs.Bool("meter", false, "attach PolyMeter: pooled FCT/goodput/queue/stall histograms and slo_attainment per cell")
+		sloFCT  = fs.Duration("slo-fct", 0, "SLO: per-flow completion deadline; implies -meter (0 = no deadline)")
+		sloGbps = fs.Float64("slo-goodput", 0, "SLO: per-flow goodput floor in Gbps; implies -meter (0 = no floor)")
 
 		trace    = fs.Bool("trace", false, "record a PolyScope trace for every run (incast/shuffle/chaos scenarios) and write per-run export files")
 		traceOut = fs.String("trace-out", "polyscope", "base path for -trace files (<base>-<scenario>-<backend>-s<seed>.trace.json, ...)")
@@ -111,6 +118,14 @@ func run(args []string, out, errw io.Writer) int {
 		fmt.Fprintf(errw, "polysweep: unknown format %q (table|csv|json)\n", *format)
 		return 2
 	}
+	if *sloFCT < 0 {
+		fmt.Fprintf(errw, "polysweep: -slo-fct must be >= 0, got %v\n", *sloFCT)
+		return 2
+	}
+	if *sloGbps < 0 {
+		fmt.Fprintf(errw, "polysweep: -slo-goodput must be >= 0, got %v\n", *sloGbps)
+		return 2
+	}
 
 	p := def
 	p.FatTreeK = *k
@@ -137,6 +152,11 @@ func run(args []string, out, errw io.Writer) int {
 	}
 	p.Store.FailMode = mode
 	p.Store.Seed = *seed
+	if *sloFCT > 0 || *sloGbps > 0 {
+		p.SLO = &metrics.SLO{FCTDeadline: sloFCT.Seconds(), GoodputFloor: *sloGbps}
+	} else if *meterOn {
+		p.Meter = true
+	}
 
 	ckind, ok := chaos.ParseKind(*chaosFault)
 	if !ok {
@@ -258,8 +278,10 @@ func run(args []string, out, errw io.Writer) int {
 	if *verbose {
 		// Progress lines go to stderr in completion order; stdout stays
 		// byte-identical across parallelism settings.
-		m.Progress = func(done, total int, cell sweep.Cell, seed int64) {
-			fmt.Fprintf(errw, "polysweep: [%d/%d] %s seed=%d\n", done, total, cell.Name(), seed)
+		m.Progress = func(p sweep.Progress) {
+			fmt.Fprintf(errw, "polysweep: [%d/%d] %s seed=%d elapsed=%v eta=%v\n",
+				p.Done, p.Total, p.Cell.Name(), p.Seed,
+				p.Elapsed.Round(time.Millisecond), p.ETA.Round(time.Millisecond))
 		}
 	}
 	res, err := m.Run()

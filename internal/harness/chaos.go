@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"polyraptor/internal/chaos"
+	"polyraptor/internal/metrics"
 	"polyraptor/internal/netsim"
 	"polyraptor/internal/polyraptor"
 	"polyraptor/internal/sim"
@@ -292,6 +293,19 @@ func RunChaos(o ChaosOptions, backend store.BackendKind, seed int64) ChaosRun {
 // attached (nil topt reproduces RunChaos exactly). The returned trace
 // is finished and ready for export; it is nil when topt is nil.
 func RunChaosTraced(o ChaosOptions, backend store.BackendKind, seed int64, topt *TraceOptions) (ChaosRun, *telemetry.Trace) {
+	return runChaos(o, backend, seed, topt, meter{})
+}
+
+// RunChaosMetered is RunChaosTraced with PolyMeter instruments
+// attached: per-flow FCT/goodput histograms, fabric queue depth,
+// Polyraptor stall durations, and SLO attainment counters land in reg
+// under (chaos, backend) labels. A nil reg reproduces RunChaosTraced
+// exactly.
+func RunChaosMetered(o ChaosOptions, backend store.BackendKind, seed int64, topt *TraceOptions, reg *metrics.Registry, slo metrics.SLO) (ChaosRun, *telemetry.Trace) {
+	return runChaos(o, backend, seed, topt, newMeter(reg, "chaos", backend, slo))
+}
+
+func runChaos(o ChaosOptions, backend store.BackendKind, seed int64, topt *TraceOptions, mt meter) (ChaosRun, *telemetry.Trace) {
 	if err := o.Validate(); err != nil {
 		panic(fmt.Sprintf("harness: %v", err))
 	}
@@ -300,6 +314,7 @@ func RunChaosTraced(o ChaosOptions, backend store.BackendKind, seed int64, topt 
 		panic(err)
 	}
 	tr := newTrace(ft, topt, "chaos", backend, seed)
+	mt.fabric(ft)
 	plan := o.Fault
 	plan.Seed = seed
 	inj, err := chaos.Inject(ft, plan)
@@ -315,14 +330,17 @@ func RunChaosTraced(o ChaosOptions, backend store.BackendKind, seed int64, topt 
 	record := func(bytes int64, end sim.Time) {
 		run.Completed++
 		completedBytes += bytes
-		fcts = append(fcts, end.Seconds())
+		fct := end.Seconds()
+		fcts = append(fcts, fct)
+		mt.flow(fct, perFlowGbps(bytes, fct))
 		if end > last {
 			last = end
 		}
 	}
 
 	run.Flows = len(w.srcs)
-	open := startChaosFlows(ft, backend, seed, w, o.Pattern == "multicast", record)
+	mt.offered(run.Flows)
+	open := startChaosFlows(ft, backend, seed, w, o.Pattern == "multicast", record, mt)
 	startTrace(tr, ft, open)
 
 	ft.Net.Eng.RunUntil(o.Deadline)
@@ -349,10 +367,11 @@ func RunChaosTraced(o ChaosOptions, backend store.BackendKind, seed int64, topt 
 // (rq runs one group session, TCP multi-unicasts). The returned gauge
 // reads the transport's live session/flow count — the trace probe's
 // open-sessions channel.
-func startChaosFlows(ft *topology.FatTree, backend store.BackendKind, seed int64, w chaosWorkload, multicast bool, record func(int64, sim.Time)) func() float64 {
+func startChaosFlows(ft *topology.FatTree, backend store.BackendKind, seed int64, w chaosWorkload, multicast bool, record func(int64, sim.Time), mt meter) func() float64 {
 	if backend == store.BackendPolyraptor {
 		sys := polyraptor.NewSystem(ft.Net, polyraptor.DefaultConfig(), seed)
 		sys.PruneGroup = ft.PruneMulticastLeaf
+		mt.stallRQ(sys)
 		open := func() float64 { send, recv := sys.OpenSessions(); return float64(send + recv) }
 		if multicast {
 			g := ft.InstallMulticastGroup(w.srcs[0], w.dsts)

@@ -8,6 +8,7 @@ package harness
 import (
 	"fmt"
 
+	"polyraptor/internal/metrics"
 	"polyraptor/internal/netsim"
 	"polyraptor/internal/polyraptor"
 	"polyraptor/internal/sim"
@@ -364,6 +365,19 @@ func RunIncastDCTCP(opt IncastOptions, senders int, bytes int64, seed int64) flo
 // runs on trimming switches per opt.Trimming; TCP on classic
 // drop-tail; DCTCP on ECN-marking drop-tail (K=20).
 func RunIncastTraced(opt IncastOptions, backend store.BackendKind, senders int, bytes int64, seed int64, topt *TraceOptions) (float64, *telemetry.Trace) {
+	return runIncast(opt, backend, senders, bytes, seed, topt, meter{})
+}
+
+// RunIncastMetered is RunIncastTraced with PolyMeter instruments
+// attached: per-sender FCT/goodput histograms, fabric queue depth,
+// Polyraptor stall durations, and SLO attainment counters land in reg
+// under (incast, backend) labels. A nil reg reproduces RunIncastTraced
+// exactly.
+func RunIncastMetered(opt IncastOptions, backend store.BackendKind, senders int, bytes int64, seed int64, topt *TraceOptions, reg *metrics.Registry, slo metrics.SLO) (float64, *telemetry.Trace) {
+	return runIncast(opt, backend, senders, bytes, seed, topt, newMeter(reg, "incast", backend, slo))
+}
+
+func runIncast(opt IncastOptions, backend store.BackendKind, senders int, bytes int64, seed int64, topt *TraceOptions, mt meter) (float64, *telemetry.Trace) {
 	ncfg := netsim.DefaultConfig()
 	ncfg.Seed = seed
 	switch backend {
@@ -380,13 +394,18 @@ func RunIncastTraced(opt IncastOptions, backend store.BackendKind, senders int, 
 		panic(err)
 	}
 	tr := newTrace(ft, topt, "incast", backend, seed)
+	mt.fabric(ft)
 	ic := workload.GenerateIncast(workload.IncastConfig{Senders: senders, BytesPerSender: bytes, Seed: seed}, ft)
+	mt.offered(senders)
 	var last sim.Time
 	done := 0
 	if backend == store.BackendPolyraptor {
 		sys := polyraptor.NewSystem(ft.Net, polyraptor.DefaultConfig(), seed)
+		mt.stallRQ(sys)
 		for _, s := range ic.Senders {
 			sys.StartUnicast(s, ic.Client, ic.Bytes, func(ev polyraptor.CompletionEvent) {
+				fct := ev.End.Seconds()
+				mt.flow(fct, perFlowGbps(ev.Bytes, fct))
 				if ev.End > last {
 					last = ev.End
 				}
@@ -409,6 +428,8 @@ func RunIncastTraced(opt IncastOptions, backend store.BackendKind, senders int, 
 		sys := tcpsim.NewSystem(ft.Net, tcfg)
 		for _, s := range ic.Senders {
 			sys.StartFlow(s, ic.Client, ic.Bytes, func(r tcpsim.FlowResult) {
+				fct := (r.End - r.Start).Seconds()
+				mt.flow(fct, perFlowGbps(ic.Bytes, fct))
 				if r.End > last {
 					last = r.End
 				}

@@ -1,0 +1,164 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+
+	"polyraptor/internal/metrics"
+	"polyraptor/internal/store"
+	"polyraptor/internal/sweep"
+)
+
+// Metering must never perturb a run: the metered entry points with a
+// live registry must reproduce the unmetered results bit for bit.
+func TestMeteredRunMatchesUnmetered(t *testing.T) {
+	opt := IncastOptions{FatTreeK: 4, Trimming: true}
+	slo := metrics.SLO{FCTDeadline: 0.1}
+	for _, backend := range []store.BackendKind{store.BackendPolyraptor, store.BackendTCP} {
+		plain, _ := RunIncastTraced(opt, backend, 4, 64<<10, 7, nil)
+		reg := metrics.NewRegistry()
+		metered, _ := RunIncastMetered(opt, backend, 4, 64<<10, 7, nil, reg, slo)
+		if plain != metered {
+			t.Errorf("%v: metered incast goodput %v != unmetered %v", backend, metered, plain)
+		}
+		h := reg.Histogram("fct_s", metrics.Labels{Scenario: "incast", Backend: backend.String()})
+		if h.Count() != 4 {
+			t.Errorf("%v: fct hist has %d samples, want 4", backend, h.Count())
+		}
+	}
+
+	co := testChaosOptions()
+	plain, _ := RunChaosTraced(co, store.BackendTCP, 3, nil)
+	reg := metrics.NewRegistry()
+	metered, _ := RunChaosMetered(co, store.BackendTCP, 3, nil, reg, slo)
+	if plain != metered {
+		t.Errorf("metered chaos run %+v != unmetered %+v", metered, plain)
+	}
+
+	so := ShuffleOptions{FatTreeK: 4, Mappers: 3, Reducers: 3, BytesPerPair: 32 << 10, Skew: 0.9}
+	sPlain, _ := RunShuffleTraced(so, store.BackendPolyraptor, 5, nil)
+	reg = metrics.NewRegistry()
+	sMetered, _ := RunShuffleMetered(so, store.BackendPolyraptor, 5, nil, reg, slo)
+	if sPlain != sMetered {
+		t.Errorf("metered shuffle run %+v != unmetered %+v", sMetered, sPlain)
+	}
+	l := metrics.Labels{Scenario: "shuffle", Backend: store.BackendPolyraptor.String()}
+	if got := reg.Histogram("fct_s", l).Count(); got != 9 {
+		t.Errorf("shuffle fct hist has %d samples, want 9", got)
+	}
+	if reg.Histogram("queue_depth_pkts", l).Count() == 0 {
+		t.Error("shuffle queue-depth hist is empty; fabric hook not attached")
+	}
+}
+
+func meteredTestParams() SweepParams {
+	p := DefaultSweepParams()
+	p.FatTreeK = 4
+	p.Senders = 4
+	p.Bytes = 32 << 10
+	p.SLO = &metrics.SLO{FCTDeadline: 0.05}
+	p.Store.Objects = 16
+	p.Store.Requests = 40
+	return p
+}
+
+// A metered cell must report the same scalar metrics as the unmetered
+// cell plus slo_attainment, and carry the pooled histograms.
+func TestMeteredCellMatchesUnmetered(t *testing.T) {
+	p := meteredTestParams()
+	plain := p
+	plain.SLO = nil
+
+	for _, scenario := range []string{"incast", "storage"} {
+		mc, err := NewSweepCell(scenario, store.BackendPolyraptor, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pc, err := NewSweepCell(scenario, store.BackendPolyraptor, plain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mr, err := (sweep.Matrix{Cells: []sweep.Cell{mc}, Seeds: 2, BaseSeed: 1}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := (sweep.Matrix{Cells: []sweep.Cell{pc}, Seeds: 2, BaseSeed: 1}).Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, pl := mr.Cells[0], pr.Cells[0]
+		for _, a := range pl.Metrics {
+			got, ok := m.Metric(a.Metric)
+			if !ok {
+				t.Fatalf("%s: metered cell lost metric %s", scenario, a.Metric)
+			}
+			if got != a {
+				t.Errorf("%s: metered %s = %+v, unmetered %+v", scenario, a.Metric, got, a)
+			}
+		}
+		att, ok := m.Metric("slo_attainment")
+		if !ok {
+			t.Fatalf("%s: metered cell has no slo_attainment", scenario)
+		}
+		if att.Mean < 0 || att.Mean > 1 {
+			t.Errorf("%s: attainment %v outside [0,1]", scenario, att.Mean)
+		}
+		if len(m.Hists) == 0 {
+			t.Fatalf("%s: metered cell has no histogram aggregates", scenario)
+		}
+		want := "fct_s"
+		if scenario == "storage" {
+			want = "get_fct_s"
+		}
+		if _, ok := m.Hist(want); !ok {
+			t.Errorf("%s: no %s histogram (have %d hists)", scenario, want, len(m.Hists))
+		}
+		if len(pl.Hists) != 0 {
+			t.Errorf("%s: unmetered cell unexpectedly has histograms", scenario)
+		}
+	}
+}
+
+// The PolyMeter determinism contract on the sweep: a metered matrix
+// serialises to the same bytes at any parallelism (histogram merge is
+// order-fixed in the aggregation loop, worker scheduling never leaks
+// into results). Runs under -race in CI.
+func TestMeteredSweepParallelIdentical(t *testing.T) {
+	p := meteredTestParams()
+	build := func() sweep.Matrix {
+		var cells []sweep.Cell
+		for _, scenario := range []string{"incast", "shuffle"} {
+			for _, be := range []store.BackendKind{store.BackendPolyraptor, store.BackendTCP} {
+				c, err := NewSweepCell(scenario, be, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cells = append(cells, c)
+			}
+		}
+		return sweep.Matrix{Cells: cells, Seeds: 4, BaseSeed: 3}
+	}
+	serialM := build()
+	serialM.Parallelism = 1
+	serial, err := serialM.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallelM := build()
+	parallelM.Parallelism = 8
+	parallel, err := parallelM.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := json.Marshal(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.Marshal(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(sj) != string(pj) {
+		t.Fatalf("metered sweep differs between parallelism 1 and 8:\nserial:   %.400s\nparallel: %.400s", sj, pj)
+	}
+}

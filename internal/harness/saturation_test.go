@@ -1,0 +1,145 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+
+	"polyraptor/internal/metrics"
+	"polyraptor/internal/store"
+)
+
+func testSaturationOptions(scenario string) SaturationOptions {
+	o := DefaultSaturationOptions(scenario)
+	o.Params = meteredTestParams()
+	o.Params.SLO = nil
+	o.SLO = metrics.SLO{FCTDeadline: 0.002}
+	o.LoadMin = 0.5
+	o.LoadMax = 3
+	o.Rungs = 4
+	o.Refine = 2
+	o.Seeds = 1
+	return o
+}
+
+// The knee search must be a pure function of its options: two runs
+// (the second at a different probe parallelism) serialise to the same
+// bytes.
+func TestFindSaturationDeterministic(t *testing.T) {
+	o := testSaturationOptions("incast")
+	a, err := FindSaturation(o, store.BackendPolyraptor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Parallelism = 4
+	b, err := FindSaturation(o, store.BackendPolyraptor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatalf("saturation result depends on parallelism:\n%s\nvs\n%s", aj, bj)
+	}
+}
+
+// Structural invariants of the search: ladder loads strictly
+// ascending across [LoadMin, LoadMax], effective knobs non-decreasing,
+// and the verdict well-formed (a knee rung that passed, or an honest
+// censoring marker).
+func TestSaturationLadderShape(t *testing.T) {
+	o := testSaturationOptions("incast")
+	res, err := FindSaturation(o, store.BackendTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Ladder) != o.Rungs {
+		t.Fatalf("ladder has %d rungs, want %d", len(res.Ladder), o.Rungs)
+	}
+	if res.Ladder[0].Load != o.LoadMin || res.Ladder[len(res.Ladder)-1].Load != o.LoadMax {
+		t.Errorf("ladder spans [%g, %g], want [%g, %g]",
+			res.Ladder[0].Load, res.Ladder[len(res.Ladder)-1].Load, o.LoadMin, o.LoadMax)
+	}
+	for i := 1; i < len(res.Ladder); i++ {
+		if res.Ladder[i].Load <= res.Ladder[i-1].Load {
+			t.Errorf("ladder loads not ascending at rung %d: %g <= %g",
+				i, res.Ladder[i].Load, res.Ladder[i-1].Load)
+		}
+		if res.Ladder[i].Knob < res.Ladder[i-1].Knob {
+			t.Errorf("effective knob decreased at rung %d: %g < %g",
+				i, res.Ladder[i].Knob, res.Ladder[i-1].Knob)
+		}
+	}
+	for _, r := range res.Probes {
+		if r.Attainment < 0 || r.Attainment > 1 {
+			t.Errorf("probe at load %g: attainment %g outside [0,1]", r.Load, r.Attainment)
+		}
+	}
+	switch res.Censored {
+	case "":
+		if res.Knee == nil {
+			t.Fatal("uncensored search returned no knee")
+		}
+		if !res.Knee.OK {
+			t.Errorf("knee rung at load %g did not meet the target", res.Knee.Load)
+		}
+	case "below-min":
+		if res.Knee != nil {
+			t.Errorf("below-min search returned a knee at load %g", res.Knee.Load)
+		}
+	case "above-max":
+		if res.Knee == nil || res.Knee.Load != o.LoadMax {
+			t.Errorf("above-max search should pin the knee at LoadMax")
+		}
+	default:
+		t.Errorf("unknown censoring marker %q", res.Censored)
+	}
+}
+
+// A tight SLO must saturate at or below the load where a loose SLO
+// does: the knee is monotone in the spec.
+func TestSaturationKneeMonotoneInSLO(t *testing.T) {
+	tight := testSaturationOptions("incast")
+	tight.SLO = metrics.SLO{FCTDeadline: 0.0008}
+	loose := testSaturationOptions("incast")
+	loose.SLO = metrics.SLO{FCTDeadline: 0.1}
+
+	rt, err := FindSaturation(tight, store.BackendPolyraptor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rl, err := FindSaturation(loose, store.BackendPolyraptor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kneeLoad := func(r SaturationResult) float64 {
+		if r.Knee == nil {
+			return 0
+		}
+		return r.Knee.Load
+	}
+	if kneeLoad(rt) > kneeLoad(rl) {
+		t.Errorf("tight SLO knee %g exceeds loose SLO knee %g", kneeLoad(rt), kneeLoad(rl))
+	}
+	// The generous deadline comfortably covers every load in this tiny
+	// ladder, so the loose search must max out.
+	if rl.Censored != "above-max" {
+		t.Errorf("loose SLO should be above-max censored, got %q (knee %+v)", rl.Censored, rl.Knee)
+	}
+}
+
+// KeepHists retains each probe's merged histogram aggregates.
+func TestSaturationKeepHists(t *testing.T) {
+	o := testSaturationOptions("shuffle")
+	o.Rungs = 2
+	o.Refine = 0
+	o.KeepHists = true
+	res, err := FindSaturation(o, store.BackendPolyraptor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Probes {
+		if len(r.Hists) == 0 {
+			t.Fatalf("probe at load %g kept no histograms", r.Load)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"polyraptor/internal/metrics"
 	"polyraptor/internal/polyraptor"
 	"polyraptor/internal/sim"
 	"polyraptor/internal/stats"
@@ -111,6 +112,19 @@ func RunShuffle(opt ShuffleOptions, backend store.BackendKind, seed int64) Shuff
 // attached (nil topt reproduces RunShuffle exactly). The returned
 // trace is finished and ready for export; it is nil when topt is nil.
 func RunShuffleTraced(opt ShuffleOptions, backend store.BackendKind, seed int64, topt *TraceOptions) (ShuffleRun, *telemetry.Trace) {
+	return runShuffle(opt, backend, seed, topt, meter{})
+}
+
+// RunShuffleMetered is RunShuffleTraced with PolyMeter instruments
+// attached: per-pair FCT/goodput histograms, fabric queue depth,
+// Polyraptor stall durations, and SLO attainment counters land in reg
+// under (shuffle, backend) labels. A nil reg reproduces
+// RunShuffleTraced exactly.
+func RunShuffleMetered(opt ShuffleOptions, backend store.BackendKind, seed int64, topt *TraceOptions, reg *metrics.Registry, slo metrics.SLO) (ShuffleRun, *telemetry.Trace) {
+	return runShuffle(opt, backend, seed, topt, newMeter(reg, "shuffle", backend, slo))
+}
+
+func runShuffle(opt ShuffleOptions, backend store.BackendKind, seed int64, topt *TraceOptions, mt meter) (ShuffleRun, *telemetry.Trace) {
 	if err := opt.Validate(); err != nil {
 		panic(fmt.Sprintf("harness: %v", err))
 	}
@@ -119,18 +133,23 @@ func RunShuffleTraced(opt ShuffleOptions, backend store.BackendKind, seed int64,
 		panic(err)
 	}
 	tr := newTrace(ft, topt, "shuffle", backend, seed)
+	mt.fabric(ft)
 	sh := workload.GenerateShuffle(opt.workloadConfig(seed), ft)
 	pairs := opt.Mappers * opt.Reducers
+	mt.offered(pairs)
 
 	fcts := make([]float64, 0, pairs)
 	var last sim.Time
 	if backend == store.BackendPolyraptor {
 		sys := polyraptor.NewSystem(ft.Net, polyraptor.DefaultConfig(), seed)
 		sys.PruneGroup = ft.PruneMulticastLeaf
+		mt.stallRQ(sys)
 		done := false
 		sys.StartShuffle(sh.Mappers, sh.Reducers, sh.PairBytes, func(r polyraptor.ShuffleResult) {
 			for i := range r.Pairs {
-				fcts = append(fcts, (r.Pairs[i].Event.End - r.Pairs[i].Event.Start).Seconds())
+				fct := (r.Pairs[i].Event.End - r.Pairs[i].Event.Start).Seconds()
+				fcts = append(fcts, fct)
+				mt.flow(fct, perFlowGbps(r.Pairs[i].Event.Bytes, fct))
 			}
 			last = r.End
 			done = true
@@ -153,8 +172,11 @@ func RunShuffleTraced(opt ShuffleOptions, backend store.BackendKind, seed int64,
 		}
 		for mi, m := range sh.Mappers {
 			for ri, r := range sh.Reducers {
-				sys.StartFlow(m, r, sh.Bytes[mi][ri], func(fr tcpsim.FlowResult) {
-					fcts = append(fcts, (fr.End - fr.Start).Seconds())
+				b := sh.Bytes[mi][ri]
+				sys.StartFlow(m, r, b, func(fr tcpsim.FlowResult) {
+					fct := (fr.End - fr.Start).Seconds()
+					fcts = append(fcts, fct)
+					mt.flow(fct, perFlowGbps(b, fct))
 					if fr.End > last {
 						last = fr.End
 					}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"polyraptor/internal/metrics"
 	"polyraptor/internal/stats"
 	"polyraptor/internal/store"
 	"polyraptor/internal/sweep"
@@ -48,6 +49,21 @@ type SweepParams struct {
 	// Chaos is the fault-injection template; its Fault.Seed is
 	// overridden per run.
 	Chaos ChaosOptions
+
+	// Meter attaches a PolyMeter registry to every run: per-flow FCT
+	// and goodput histograms (plus fabric queue depth and Polyraptor
+	// stall durations where the scenario drives the fabric directly),
+	// merged across repetitions into the cell's pooled distributions,
+	// and an "slo_attainment" metric. Metering never changes run
+	// results: a metered run's metrics are bit-identical to an
+	// unmetered run of the same seed.
+	Meter bool
+	// SLO, when non-nil, scores every metered flow against the spec;
+	// slo_attainment is the fraction of offered flows that completed
+	// within it. Implies Meter. With no SLO, attainment degenerates to
+	// the completion rate (every completed flow trivially meets the
+	// empty spec; stalled or skipped flows still miss).
+	SLO *metrics.SLO
 
 	// Trace, when non-nil, attaches a PolyScope flight recorder and
 	// timeline probes to every run of the scenarios that support
@@ -108,6 +124,19 @@ func TraceableScenarios() []string {
 	return []string{"incast", "shuffle", "chaos"}
 }
 
+// metered reports whether runs should carry a PolyMeter registry.
+func (p SweepParams) metered() bool {
+	return p.Meter || p.SLO != nil
+}
+
+// slo resolves the spec metered flows are scored against.
+func (p SweepParams) slo() metrics.SLO {
+	if p.SLO == nil {
+		return metrics.SLO{}
+	}
+	return *p.SLO
+}
+
 // emitTrace hands a finished trace to the sink, if both exist.
 func (p SweepParams) emitTrace(scenario string, backend store.BackendKind, seed int64, tr *telemetry.Trace) {
 	if tr != nil && p.TraceSink != nil {
@@ -139,6 +168,30 @@ func (p SweepParams) scale(seed int64) Scale {
 	}
 }
 
+// runner adapts a per-seed run (parameterised by its meter) to the
+// sweep's Runner interface. Unmetered, the run gets the zero meter —
+// every instrument nil, every recording site one dead branch — and
+// the cell behaves exactly as before PolyMeter. Metered, each run
+// gets a fresh single-goroutine registry whose histograms become the
+// cell's pooled distributions and whose counters become
+// slo_attainment.
+func (p SweepParams) runner(scenario string, backend store.BackendKind, run func(seed int64, mt meter) (sweep.Metrics, error)) sweep.Runner {
+	if !p.metered() {
+		return sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
+			return run(seed, meter{})
+		})
+	}
+	return sweep.HistRunnerFunc(func(seed int64) (sweep.Metrics, sweep.Hists, error) {
+		reg := metrics.NewRegistry()
+		m, err := run(seed, newMeter(reg, scenario, backend, p.slo()))
+		if err != nil {
+			return nil, nil, err
+		}
+		m["slo_attainment"] = registryAttainment(reg)
+		return m, registryHists(reg), nil
+	})
+}
+
 // NewSweepCell builds the sweep cell for one scenario x backend point.
 // Unknown scenarios and unsupported combinations are errors, reported
 // before anything runs.
@@ -165,12 +218,19 @@ func NewSweepCell(scenario string, backend store.BackendKind, p SweepParams) (sw
 			"replicas": strconv.Itoa(p.Replicas),
 			"sessions": strconv.Itoa(p.Sessions),
 		}
-		cell.Runner = sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
+		bytes := p.Bytes
+		cell.Runner = p.runner(scenario, backend, func(seed int64, mt meter) (sweep.Metrics, error) {
 			var goodputs []float64
 			if backend == store.BackendPolyraptor {
 				goodputs = RunFig1RQ(p.scale(seed), pattern, p.Replicas)
 			} else {
 				goodputs = runFig1Baseline(p.scale(seed), pattern, p.Replicas, backend)
+			}
+			// Fig1 reports per-session goodput, not raw FCTs; meter the
+			// sessions from the goodputs (fct = bytes over goodput).
+			mt.offered(len(goodputs))
+			for _, g := range goodputs {
+				mt.flow(fctFromGoodput(bytes, g), g)
 			}
 			return sessionMetrics(goodputs), nil
 		})
@@ -181,13 +241,13 @@ func NewSweepCell(scenario string, backend store.BackendKind, p SweepParams) (sw
 			"bytes":   strconv.FormatInt(p.Bytes, 10),
 		}
 		opt := IncastOptions{FatTreeK: p.FatTreeK, Trimming: p.Trimming}
-		cell.Runner = sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
+		cell.Runner = p.runner(scenario, backend, func(seed int64, mt meter) (sweep.Metrics, error) {
 			switch backend {
 			case store.BackendPolyraptor, store.BackendTCP, store.BackendDCTCP:
 			default:
 				return nil, fmt.Errorf("harness: incast does not support backend %v", backend)
 			}
-			g, tr := RunIncastTraced(opt, backend, p.Senders, p.Bytes, seed, p.Trace)
+			g, tr := runIncast(opt, backend, p.Senders, p.Bytes, seed, p.Trace, mt)
 			p.emitTrace("incast", backend, seed, tr)
 			return sweep.Metrics{"goodput_gbps": g}, nil
 		})
@@ -202,8 +262,8 @@ func NewSweepCell(scenario string, backend store.BackendKind, p SweepParams) (sw
 			"reducers": strconv.Itoa(p.Reducers),
 			"bytes":    strconv.FormatInt(p.Bytes, 10),
 		}
-		cell.Runner = sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
-			r, tr := RunShuffleTraced(opt, backend, seed, p.Trace)
+		cell.Runner = p.runner(scenario, backend, func(seed int64, mt meter) (sweep.Metrics, error) {
+			r, tr := runShuffle(opt, backend, seed, p.Trace, mt)
 			p.emitTrace("shuffle", backend, seed, tr)
 			return shuffleMetrics(r), nil
 		})
@@ -219,8 +279,8 @@ func NewSweepCell(scenario string, backend store.BackendKind, p SweepParams) (sw
 			"layer":   opt.Fault.Layer.String(),
 			"frac":    strconv.FormatFloat(opt.Fault.Frac, 'g', -1, 64),
 		}
-		cell.Runner = sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
-			r, tr := RunChaosTraced(opt, backend, seed, p.Trace)
+		cell.Runner = p.runner(scenario, backend, func(seed int64, mt meter) (sweep.Metrics, error) {
+			r, tr := runChaos(opt, backend, seed, p.Trace, mt)
 			p.emitTrace("chaos", backend, seed, tr)
 			return chaosMetrics(r), nil
 		})
@@ -235,7 +295,7 @@ func NewSweepCell(scenario string, backend store.BackendKind, p SweepParams) (sw
 		if err := validateStorageTemplate(cfg, backend); err != nil {
 			return sweep.Cell{}, err
 		}
-		cell.Runner = sweep.RunnerFunc(func(seed int64) (sweep.Metrics, error) {
+		cell.Runner = p.runner(scenario, backend, func(seed int64, mt meter) (sweep.Metrics, error) {
 			c := cfg
 			c.Backend = backend
 			c.Seed = seed
@@ -243,12 +303,32 @@ func NewSweepCell(scenario string, backend store.BackendKind, p SweepParams) (sw
 			if err != nil {
 				return nil, err
 			}
+			meterStorage(mt, res)
 			return storageMetrics(res), nil
 		})
 	default:
 		return sweep.Cell{}, fmt.Errorf("harness: unknown sweep scenario %q (have %v)", scenario, SweepScenarios())
 	}
 	return cell, nil
+}
+
+// meterStorage meters a finished storage run: the GET and PUT sides
+// are separate tenants of the run's registry (their latency targets
+// differ in practice, and the pooled histograms stay separable). A
+// skipped GET (its object lost) never ran, so it counts as offered
+// but cannot meet the SLO.
+func meterStorage(mt meter, res *store.Result) {
+	gm, pm := mt.tenant("get"), mt.tenant("put")
+	getF, getG := res.GetFCTs(), res.GetGoodputs()
+	putF, putG := res.PutFCTs(), res.PutGoodputs()
+	gm.offered(len(getF) + res.SkippedGets)
+	pm.offered(len(putF))
+	for i, f := range getF {
+		gm.flow(f, getG[i])
+	}
+	for i, f := range putF {
+		pm.flow(f, putG[i])
+	}
 }
 
 // runFig1Baseline runs the Figure 1 baseline side under the named

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"polyraptor/internal/metrics"
 	"polyraptor/internal/sim"
 	"polyraptor/internal/telemetry"
 )
@@ -67,9 +68,14 @@ type Network struct {
 	// tracing. Every layer above — transports, chaos, the harness —
 	// reads it from here, so attaching a recorder to the network is
 	// the single switch that turns instrumentation on.
-	Rec     *telemetry.Recorder
-	rng     *rand.Rand
-	lossRNG *rand.Rand
+	Rec *telemetry.Recorder
+	// QueueHist is the PolyMeter queue-depth histogram, fed with the
+	// post-enqueue occupancy of every port queue; nil (the default)
+	// disables metering the same way a nil Rec disables tracing, and
+	// recording never perturbs simulation state.
+	QueueHist *metrics.Histogram
+	rng       *rand.Rand
+	lossRNG   *rand.Rand
 	// pktFree is the packet free list behind AllocPacket/FreePacket.
 	pktFree []*Packet
 }
@@ -307,6 +313,7 @@ func (p *Port) Send(pkt *Packet) {
 		p.net.FreePacket(pkt)
 		return
 	}
+	p.net.QueueHist.Record(float64(p.queue.Len()))
 	p.kick()
 }
 

@@ -8,6 +8,7 @@ import (
 	"polyraptor/internal/chaos"
 	"polyraptor/internal/gf256"
 	"polyraptor/internal/harness"
+	"polyraptor/internal/metrics"
 	"polyraptor/internal/raptorq"
 	"polyraptor/internal/sim"
 	"polyraptor/internal/store"
@@ -26,8 +27,70 @@ func Suite(quick bool) []Case {
 	cases = append(cases, codecCases(quick)...)
 	cases = append(cases, simCases()...)
 	cases = append(cases, telemetryCases()...)
+	cases = append(cases, metricsCases()...)
 	cases = append(cases, e2eCases(quick)...)
 	return cases
+}
+
+// metricsCases measures the PolyMeter hot paths: the enabled histogram
+// record (bucket index + counter bump), the disabled path — a nil
+// receiver, which must stay a single branch so metering can be
+// threaded through every flow-completion path unconditionally — and
+// the snapshot merge that pools per-seed histograms. All three are
+// locked at 0 allocs/op in ALLOC_BUDGET.json.
+func metricsCases() []Case {
+	enabled := Case{
+		Name:       "metrics/Record/enabled",
+		RateName:   "samples_per_sec",
+		UnitsPerOp: 1,
+	}
+	{
+		h := metrics.NewHistogram()
+		// A few decades of FCT-like values; the modulo keeps the bucket
+		// walk from degenerating into a single hot cache line.
+		vals := make([]float64, 1024)
+		for i := range vals {
+			vals[i] = 1e-4 * float64(i+1)
+		}
+		enabled.Fn = func(n int) {
+			for i := 0; i < n; i++ {
+				h.Record(vals[i&1023])
+			}
+		}
+	}
+	disabled := Case{
+		Name:       "metrics/Record/disabled",
+		RateName:   "samples_per_sec",
+		UnitsPerOp: 1,
+	}
+	{
+		var h *metrics.Histogram // metering off: nil receiver
+		disabled.Fn = func(n int) {
+			for i := 0; i < n; i++ {
+				h.Record(float64(i))
+			}
+		}
+	}
+	merge := Case{
+		Name:       "metrics/Merge",
+		RateName:   "merges_per_sec",
+		UnitsPerOp: 1,
+	}
+	{
+		// Two well-populated histograms, as the sweep aggregator sees
+		// them: one per seed, pooled pairwise in seed order.
+		src := metrics.NewHistogram()
+		for i := 0; i < 4096; i++ {
+			src.Record(1e-5 * float64(i+1))
+		}
+		dst := metrics.NewHistogram()
+		merge.Fn = func(n int) {
+			for i := 0; i < n; i++ {
+				dst.Merge(src)
+			}
+		}
+	}
+	return []Case{enabled, disabled, merge}
 }
 
 // telemetryCases measures the PolyScope flight recorder: the enabled

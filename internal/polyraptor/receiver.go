@@ -147,6 +147,7 @@ func (rs *receiverSession) armTimeout() {
 			// starve the senders past the window forever (fatal when
 			// the early senders are the unreachable ones).
 			rs.sys.Net.Rec.Record(now, rs.flow, telemetry.EvStall, int32(rs.receiver), int64(deficit))
+			rs.sys.StallHist.Record((now - rs.lastArrival).Seconds())
 			start := rs.guardRR
 			for i := 0; i < deficit; i++ {
 				s := rs.senders[(start+i)%len(rs.senders)]

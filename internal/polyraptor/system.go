@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"polyraptor/internal/metrics"
 	"polyraptor/internal/netsim"
 	"polyraptor/internal/sim"
 	"polyraptor/internal/telemetry"
@@ -22,6 +23,12 @@ type System struct {
 	// multicast tree. Straggler detachment calls it so the straggler
 	// genuinely leaves the group, as the paper prescribes.
 	PruneGroup func(group int32, receiver int)
+
+	// StallHist is the PolyMeter stall-duration histogram: every
+	// stall-guard firing records how long the session had been starved
+	// (seconds since the last data arrival). Nil (the default)
+	// disables metering; recording never perturbs the protocol.
+	StallHist *metrics.Histogram
 
 	rng      *rand.Rand // decode-overhead sampling & random-ESI ablation
 	nextFlow int32

@@ -232,6 +232,7 @@ var simPackageNames = map[string]bool{
 	"harness":    true,
 	"topology":   true,
 	"telemetry":  true,
+	"metrics":    true,
 }
 
 func simVisible(pkg *types.Package) bool {

@@ -11,6 +11,29 @@ import (
 	"strings"
 )
 
+// DropNaN returns xs without its NaN elements. When xs has none it is
+// returned as-is (no copy); otherwise a filtered copy is returned, so
+// the input is never modified.
+func DropNaN(xs []float64) []float64 {
+	clean := true
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return xs
+	}
+	out := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
 // Mean returns the arithmetic mean, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {
@@ -50,7 +73,10 @@ var tCrit95 = []float64{
 // CI95 returns the half-width of the two-sided 95% confidence interval
 // of the mean (Student t), e.g. the error bars of Figure 1c: the paper
 // uses 5 repetitions with different seeds, i.e. 4 degrees of freedom.
+// NaN samples (a stalled flow that never completed) are skipped, like
+// Percentile and Summarize.
 func CI95(xs []float64) float64 {
+	xs = DropNaN(xs)
 	n := len(xs)
 	if n < 2 {
 		return 0
@@ -66,9 +92,12 @@ func CI95(xs []float64) float64 {
 }
 
 // Percentile returns the p-th percentile (0..100) using linear
-// interpolation between order statistics.
+// interpolation between order statistics. NaN samples are skipped: a
+// single stalled-flow NaN must not poison the whole distribution
+// (sort.Float64s would otherwise scatter NaNs through the order
+// statistics).
 func Percentile(xs []float64, p float64) float64 {
-	s := append([]float64(nil), xs...)
+	s := append([]float64(nil), DropNaN(xs)...)
 	sort.Float64s(s)
 	return PercentileSorted(s, p)
 }
@@ -94,11 +123,44 @@ type Summary struct {
 	Max                float64
 }
 
-// Summarize computes a Summary over a sorted copy of xs.
+// Summarize computes a Summary over a sorted copy of xs. NaN samples
+// are skipped (see Percentile); N counts only the finite-ordered
+// samples that remain.
 func Summarize(xs []float64) Summary {
-	s := append([]float64(nil), xs...)
+	s := append([]float64(nil), DropNaN(xs)...)
 	sort.Float64s(s)
 	return SummarizeSorted(s)
+}
+
+// HistSource is the read side of a quantile sketch — the subset of
+// polyraptor/internal/metrics.Histogram that SummarizeHist needs.
+// Keeping it an interface keeps stats a leaf package.
+type HistSource interface {
+	Count() uint64
+	Mean() float64
+	Min() float64
+	Max() float64
+	// Quantile returns the p-th percentile (0..100) with the sketch's
+	// documented relative-error bound.
+	Quantile(p float64) float64
+}
+
+// SummarizeHist condenses a histogram into the same Summary shape as
+// the exact-sample path, with percentiles read from the sketch
+// (bounded relative error) instead of a full sample sort.
+func SummarizeHist(h HistSource) Summary {
+	if h == nil || h.Count() == 0 {
+		return Summary{}
+	}
+	return Summary{
+		N:    int(h.Count()),
+		Mean: h.Mean(),
+		Min:  h.Min(),
+		P50:  h.Quantile(50),
+		P95:  h.Quantile(95),
+		P99:  h.Quantile(99),
+		Max:  h.Max(),
+	}
 }
 
 // SummarizeSorted is Summarize for a sample already sorted ascending:

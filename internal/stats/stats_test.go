@@ -247,3 +247,65 @@ func TestRenderTableNaN(t *testing.T) {
 		t.Fatalf("numeric row = %q", lines[2])
 	}
 }
+
+// TestNaNSkipping: one stalled-flow NaN must not corrupt percentiles,
+// means or confidence intervals.
+func TestNaNSkipping(t *testing.T) {
+	xs := []float64{1, 2, math.NaN(), 3, 4}
+	if got := Percentile(xs, 50); got != 2.5 {
+		t.Errorf("Percentile with NaN = %g, want 2.5", got)
+	}
+	s := Summarize(xs)
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Errorf("Summarize with NaN = %+v, want N=4 mean=2.5", s)
+	}
+	if got := CI95(xs); math.IsNaN(got) || got == 0 {
+		t.Errorf("CI95 with NaN = %g, want finite nonzero", got)
+	}
+	clean := []float64{1, 2, 3, 4}
+	if got, want := CI95(xs), CI95(clean); got != want {
+		t.Errorf("CI95 with NaN = %g, want %g (NaN dropped)", got, want)
+	}
+	if all := Summarize([]float64{math.NaN(), math.NaN()}); all.N != 0 {
+		t.Errorf("all-NaN Summarize = %+v, want zero Summary", all)
+	}
+}
+
+func TestDropNaN(t *testing.T) {
+	clean := []float64{3, 1, 2}
+	if got := DropNaN(clean); &got[0] != &clean[0] {
+		t.Error("DropNaN must not copy a clean slice")
+	}
+	dirty := []float64{3, math.NaN(), 2}
+	got := DropNaN(dirty)
+	if len(got) != 2 || got[0] != 3 || got[1] != 2 {
+		t.Errorf("DropNaN = %v", got)
+	}
+	if !math.IsNaN(dirty[1]) {
+		t.Error("DropNaN must not modify its input")
+	}
+}
+
+// fakeHist drives SummarizeHist without importing internal/metrics
+// (stats stays a leaf package; the real implementation is
+// metrics.Histogram, wired up in internal/sweep).
+type fakeHist struct{ n uint64 }
+
+func (f fakeHist) Count() uint64              { return f.n }
+func (f fakeHist) Mean() float64              { return 2 }
+func (f fakeHist) Min() float64               { return 1 }
+func (f fakeHist) Max() float64               { return 3 }
+func (f fakeHist) Quantile(p float64) float64 { return 1 + 2*p/100 }
+
+func TestSummarizeHist(t *testing.T) {
+	s := SummarizeHist(fakeHist{n: 10})
+	if s.N != 10 || s.Mean != 2 || s.Min != 1 || s.Max != 3 || s.P50 != 2 {
+		t.Errorf("SummarizeHist = %+v", s)
+	}
+	if s := SummarizeHist(fakeHist{}); s != (Summary{}) {
+		t.Errorf("empty hist summary = %+v, want zero", s)
+	}
+	if s := SummarizeHist(nil); s != (Summary{}) {
+		t.Errorf("nil hist summary = %+v, want zero", s)
+	}
+}

@@ -34,6 +34,14 @@ func (r *Result) CSV() string {
 				c.Scenario, c.Backend, strings.Join(params, " "), a.Metric,
 				a.N, a.Mean, a.CI95, a.Min, a.P50, a.P95, a.P99, a.Max)
 		}
+		// Histogram aggregates share the row shape; n is the pooled
+		// per-sample count and the ci95 column is empty (percentiles
+		// are over the pooled distribution, not per-rep scalars).
+		for _, a := range c.Hists {
+			fmt.Fprintf(&b, "%s,%s,%s,%s,%d,%.6g,,%.6g,%.6g,%.6g,%.6g,%.6g\n",
+				c.Scenario, c.Backend, strings.Join(params, " "), a.Metric+"_hist",
+				a.Count, a.Mean, a.Min, a.P50, a.P95, a.P99, a.Max)
+		}
 	}
 	return b.String()
 }
@@ -81,6 +89,12 @@ func (r *Result) Table(metrics []string) string {
 	fmt.Fprintf(&b, "== sweep: %d cells x %d seeds (base seed %d) ==\n",
 		len(r.Cells), r.Seeds, r.BaseSeed)
 	b.WriteString(table)
+	if lines := r.histLines(); len(lines) > 0 {
+		b.WriteString("\npooled distributions (histogram, rel err ≤ 0.8%):\n")
+		for _, l := range lines {
+			b.WriteString("  " + l + "\n")
+		}
+	}
 	if errs := r.errorLines(); len(errs) > 0 {
 		b.WriteString("\nerrors:\n")
 		for _, e := range errs {
@@ -88,6 +102,19 @@ func (r *Result) Table(metrics []string) string {
 		}
 	}
 	return b.String()
+}
+
+// histLines renders each cell's pooled histogram aggregates as
+// compact one-liners for the table view.
+func (r *Result) histLines() []string {
+	var out []string
+	for _, c := range r.Cells {
+		for _, a := range c.Hists {
+			out = append(out, fmt.Sprintf("%s/%s %s: n=%d mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g",
+				c.Scenario, c.Backend, a.Metric, a.Count, a.Mean, a.P50, a.P95, a.P99, a.Max))
+		}
+	}
+	return out
 }
 
 // errorLines flattens per-cell errors into "cell: error" lines.

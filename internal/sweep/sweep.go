@@ -19,7 +19,9 @@ import (
 	"slices"
 	"sort"
 	"sync"
+	"time"
 
+	"polyraptor/internal/metrics"
 	"polyraptor/internal/stats"
 )
 
@@ -41,6 +43,35 @@ type RunnerFunc func(seed int64) (Metrics, error)
 
 // Run implements Runner.
 func (f RunnerFunc) Run(seed int64) (Metrics, error) { return f(seed) }
+
+// Hists is the histogram-valued output of one run, keyed by metric
+// name: whole per-sample distributions (per-flow FCT, goodput, queue
+// depth) rather than pre-reduced scalars. Returned histograms are
+// owned by the sweep and must not be mutated after return.
+type Hists map[string]*metrics.Histogram
+
+// HistRunner is a Runner that additionally emits mergeable histograms.
+// Aggregation merges each metric's histograms across repetitions in
+// repetition order (histogram merge is associative and commutative,
+// so the result is byte-identical at any parallelism) instead of
+// concatenating raw samples.
+type HistRunner interface {
+	Runner
+	RunHist(seed int64) (Metrics, Hists, error)
+}
+
+// HistRunnerFunc adapts a function to the HistRunner interface.
+type HistRunnerFunc func(seed int64) (Metrics, Hists, error)
+
+// Run implements Runner (histograms are computed and dropped — prefer
+// running HistRunnerFuncs through a Matrix, which keeps them).
+func (f HistRunnerFunc) Run(seed int64) (Metrics, error) {
+	m, _, err := f(seed)
+	return m, err
+}
+
+// RunHist implements HistRunner.
+func (f HistRunnerFunc) RunHist(seed int64) (Metrics, Hists, error) { return f(seed) }
 
 // Cell is one point of the run matrix: a scenario under a backend,
 // plus any extra parameters worth echoing in reports.
@@ -77,12 +108,25 @@ type Matrix struct {
 	// Parallelism caps concurrent runs; <= 0 means GOMAXPROCS.
 	Parallelism int
 	// Progress, when non-nil, is invoked once per completed
-	// (cell, repetition) run with the count of finished runs, the
-	// total, and the run that just finished. Calls are serialised
-	// under a mutex but arrive in completion order, which depends on
-	// scheduling — route them to stderr or a log, never into the
-	// deterministic result stream.
-	Progress func(done, total int, cell Cell, seed int64)
+	// (cell, repetition) run. Calls are serialised under a mutex but
+	// arrive in completion order, which depends on scheduling — and
+	// Elapsed/ETA are wall-clock — so route them to stderr or a log,
+	// never into the deterministic result stream.
+	Progress func(p Progress)
+}
+
+// Progress describes one completed run of a sweep, for -v style
+// reporting during long ladders.
+type Progress struct {
+	// Done counts finished runs; Total is cells x seeds.
+	Done, Total int
+	// Cell and Seed identify the run that just finished.
+	Cell Cell
+	// Seed is the derived sub-seed of the finished repetition.
+	Seed int64
+	// Elapsed is wall-clock time since Matrix.Run started; ETA
+	// extrapolates the remaining runs at the observed rate.
+	Elapsed, ETA time.Duration
 }
 
 // Aggregate is one metric reduced across repetitions.
@@ -104,6 +148,28 @@ type Aggregate struct {
 	Max float64 `json:"max"`
 }
 
+// HistAggregate is one histogram-valued metric merged across a cell's
+// repetitions. Unlike Aggregate — order statistics over per-repetition
+// scalars — its percentiles are over the pooled per-sample
+// distribution, read from the merged histogram with bounded relative
+// error (metrics.RelError).
+type HistAggregate struct {
+	// Metric is the metric name.
+	Metric string `json:"metric"`
+	// Count is the pooled sample count across repetitions.
+	Count uint64 `json:"count"`
+	// Mean, Min, P50, P95, P99, Max summarize the pooled distribution.
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	// Snapshot is the merged histogram itself (sparse), so downstream
+	// consumers can re-merge or re-quantile without the raw samples.
+	Snapshot *metrics.Snapshot `json:"snapshot,omitempty"`
+}
+
 // CellResult is one cell's aggregated output.
 type CellResult struct {
 	Scenario string            `json:"scenario"`
@@ -114,6 +180,10 @@ type CellResult struct {
 	Seeds []int64 `json:"seeds"`
 	// Metrics are the aggregates, sorted by metric name.
 	Metrics []Aggregate `json:"metrics"`
+	// Hists are the histogram-valued metrics of a HistRunner cell,
+	// merged across repetitions in repetition order and sorted by
+	// metric name.
+	Hists []HistAggregate `json:"hists,omitempty"`
 	// Samples holds the raw per-repetition values behind each
 	// aggregate, in repetition order (repetitions that errored or did
 	// not report the metric are skipped).
@@ -202,24 +272,30 @@ func (m Matrix) Run() (*Result, error) {
 	}
 	seeds := SubSeeds(m.BaseSeed, m.Seeds)
 
-	type runOut struct {
-		metrics Metrics
-		err     error
-	}
 	// One pre-assigned slot per (cell, rep): workers never contend and
 	// aggregation order is independent of completion order.
 	outs := make([]runOut, len(m.Cells)*m.Seeds)
 	var progressMu sync.Mutex
 	finished := 0
+	// Wall clock feeds only the Progress callback (stderr reporting),
+	// never the result stream, so sweep determinism is untouched.
+	start := time.Now() //polyvet:allow simclock elapsed/ETA progress reporting only; never enters results
 	ForEach(len(outs), m.Parallelism, func(i int) {
 		cell := m.Cells[i/m.Seeds]
 		seed := seeds[i%m.Seeds]
-		metrics, err := runCell(cell, seed)
-		outs[i] = runOut{metrics, err}
+		outs[i] = runCell(cell, seed)
 		if m.Progress != nil {
 			progressMu.Lock()
 			finished++
-			m.Progress(finished, len(outs), cell, seed)
+			elapsed := time.Since(start) //polyvet:allow simclock elapsed/ETA progress reporting only; never enters results
+			var eta time.Duration
+			if finished > 0 {
+				eta = elapsed / time.Duration(finished) * time.Duration(len(outs)-finished)
+			}
+			m.Progress(Progress{
+				Done: finished, Total: len(outs), Cell: cell, Seed: seed,
+				Elapsed: elapsed, ETA: eta,
+			})
 			progressMu.Unlock()
 		}
 	})
@@ -233,6 +309,7 @@ func (m Matrix) Run() (*Result, error) {
 			Seeds:    seeds,
 		}
 		samples := map[string][]float64{}
+		merged := map[string]*metrics.Histogram{}
 		for rep := 0; rep < m.Seeds; rep++ {
 			o := outs[ci*m.Seeds+rep]
 			if o.err != nil {
@@ -242,9 +319,24 @@ func (m Matrix) Run() (*Result, error) {
 			for name, v := range o.metrics {
 				samples[name] = append(samples[name], v)
 			}
+			// Merge repetition histograms in repetition order. Merge is
+			// associative and commutative, so even this fixed order is
+			// belt-and-braces: any order would give identical state.
+			//polyvet:orderfree each name accumulates into its own histogram; Merge is a commutative vector add (TestMergeOrderByteIdentical)
+			for name, h := range o.hists {
+				acc := merged[name]
+				if acc == nil {
+					acc = metrics.NewHistogram()
+					merged[name] = acc
+				}
+				acc.Merge(h)
+			}
 		}
 		for _, name := range sortedKeys(samples) {
 			cr.Metrics = append(cr.Metrics, aggregate(name, samples[name]))
+		}
+		for _, name := range sortedKeys(merged) {
+			cr.Hists = append(cr.Hists, histAggregate(name, merged[name]))
 		}
 		if len(samples) > 0 {
 			cr.Samples = samples
@@ -254,21 +346,37 @@ func (m Matrix) Run() (*Result, error) {
 	return res, nil
 }
 
+// runOut is one repetition's output slot.
+type runOut struct {
+	metrics Metrics
+	hists   Hists
+	err     error
+}
+
 // runCell executes one repetition, converting runner panics into
-// errors so one malformed cell cannot abort a whole sweep.
-func runCell(c Cell, seed int64) (m Metrics, err error) {
+// errors so one malformed cell cannot abort a whole sweep. Runners
+// that implement HistRunner also contribute histograms.
+func runCell(c Cell, seed int64) (o runOut) {
 	defer func() {
 		if r := recover(); r != nil {
-			m, err = nil, fmt.Errorf("panic: %v", r)
+			o = runOut{err: fmt.Errorf("panic: %v", r)}
 		}
 	}()
-	return c.Runner.Run(seed)
+	if hr, ok := c.Runner.(HistRunner); ok {
+		o.metrics, o.hists, o.err = hr.RunHist(seed)
+		return o
+	}
+	o.metrics, o.err = c.Runner.Run(seed)
+	return o
 }
 
 // aggregate reduces one metric's repetition samples. The sample is
 // sorted once and the percentiles taken through the sorted fast path —
-// cheap enough to run over thousands of cells.
+// cheap enough to run over thousands of cells. NaN samples (a
+// repetition that could not measure the metric) are skipped rather
+// than poisoning the aggregate.
 func aggregate(name string, xs []float64) Aggregate {
+	xs = stats.DropNaN(xs)
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
 	sum := stats.SummarizeSorted(s)
@@ -283,6 +391,33 @@ func aggregate(name string, xs []float64) Aggregate {
 		P99:    sum.P99,
 		Max:    sum.Max,
 	}
+}
+
+// histAggregate summarizes one merged histogram through the shared
+// Summary shape (quantiles within metrics.RelError of exact).
+func histAggregate(name string, h *metrics.Histogram) HistAggregate {
+	sum := stats.SummarizeHist(h)
+	return HistAggregate{
+		Metric:   name,
+		Count:    h.Count(),
+		Mean:     sum.Mean,
+		Min:      sum.Min,
+		P50:      sum.P50,
+		P95:      sum.P95,
+		P99:      sum.P99,
+		Max:      sum.Max,
+		Snapshot: h.Snapshot(),
+	}
+}
+
+// Hist returns the named histogram aggregate of a cell, or false.
+func (cr CellResult) Hist(name string) (HistAggregate, bool) {
+	for _, a := range cr.Hists {
+		if a.Metric == name {
+			return a, true
+		}
+	}
+	return HistAggregate{}, false
 }
 
 // Metric returns the named aggregate of a cell, or false.
